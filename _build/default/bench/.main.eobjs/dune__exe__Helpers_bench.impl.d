@@ -1,0 +1,1 @@
+bench/helpers_bench.ml: Mis_util Mis_workload

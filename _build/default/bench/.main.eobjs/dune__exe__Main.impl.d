@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Fairmis Hashtbl Helpers_bench Instance Lazy List Measure Mis_exp Mis_graph Mis_workload Printf Staged String Sys Test Time Toolkit

@@ -1,0 +1,2 @@
+let random_tree n =
+  Mis_workload.Trees.random_prufer (Mis_util.Splitmix.of_seed 7) ~n

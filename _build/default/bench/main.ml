@@ -1,0 +1,130 @@
+(* Benchmark / reproduction harness.
+
+   Usage:
+     dune exec bench/main.exe            # every experiment, then timing
+     dune exec bench/main.exe -- table1 fig4
+     dune exec bench/main.exe -- timing  # Bechamel micro-benchmarks only
+     dune exec bench/main.exe -- list
+
+   Environment: FAIRMIS_TRIALS, FAIRMIS_FULL, FAIRMIS_NYC, FAIRMIS_DOMAINS,
+   FAIRMIS_SEED (see Mis_exp.Config). *)
+
+open Bechamel
+open Toolkit
+
+module View = Mis_graph.View
+module Rand_plan = Fairmis.Rand_plan
+
+let seed_counter = ref 0
+
+let next_seed () =
+  incr seed_counter;
+  !seed_counter
+
+(* One Bechamel test per table/figure workload: the cost of a single
+   simulated run of the relevant algorithm on the relevant topology. *)
+let timing_tests () =
+  let binary = lazy (View.full (Mis_workload.Trees.complete_kary ~branch:2 ~depth:10)) in
+  let alt30 = lazy (View.full (Mis_workload.Trees.alternating ~branch:30 ~depth:3)) in
+  let dartmouth = lazy (View.full (Mis_workload.Real_world.dartmouth_like ~seed:1)) in
+  let star = lazy (View.full (Mis_workload.Trees.star 1024)) in
+  let cone = lazy (View.full (Mis_workload.Special.cone ~k:64)) in
+  let grid = lazy (View.full (Mis_workload.Bipartite.grid ~width:16 ~height:16)) in
+  let trigrid = lazy (View.full (Mis_workload.Planar.triangular_grid ~width:18 ~height:18)) in
+  let rooted =
+    lazy
+      (let g = Mis_workload.Trees.complete_kary ~branch:2 ~depth:8 in
+       Mis_graph.Rooted.of_tree g ~root:0)
+  in
+  let sim_tree = lazy (View.full (Helpers_bench.random_tree 256)) in
+  let stage name f = Test.make ~name (Staged.stage f) in
+  [ stage "table1/luby/binary-2047" (fun () ->
+        Fairmis.Luby.run (Lazy.force binary) (Rand_plan.make (next_seed ())));
+    stage "table1/fairtree/binary-2047" (fun () ->
+        Fairmis.Fair_tree.run (Lazy.force binary) (Rand_plan.make (next_seed ())));
+    stage "table1/luby/alt30-961" (fun () ->
+        Fairmis.Luby.run (Lazy.force alt30) (Rand_plan.make (next_seed ())));
+    stage "table1/fairtree/alt30-961" (fun () ->
+        Fairmis.Fair_tree.run (Lazy.force alt30) (Rand_plan.make (next_seed ())));
+    stage "fig4/luby/dartmouth-178" (fun () ->
+        Fairmis.Luby.run (Lazy.force dartmouth) (Rand_plan.make (next_seed ())));
+    stage "fig4/fairtree/dartmouth-178" (fun () ->
+        Fairmis.Fair_tree.run (Lazy.force dartmouth) (Rand_plan.make (next_seed ())));
+    stage "star/luby/star-1024" (fun () ->
+        Fairmis.Luby.run (Lazy.force star) (Rand_plan.make (next_seed ())));
+    stage "cone/luby/cone-k64" (fun () ->
+        Fairmis.Luby.run (Lazy.force cone) (Rand_plan.make (next_seed ())));
+    stage "rooted/fairrooted/binary-511" (fun () ->
+        Fairmis.Fair_rooted.run (Lazy.force rooted) (Rand_plan.make (next_seed ())));
+    stage "bipart/fairbipart/grid-256" (fun () ->
+        Fairmis.Fair_bipart.run (Lazy.force grid) (Rand_plan.make (next_seed ())));
+    stage "colormis/planar/trigrid-324" (fun () ->
+        fst (Fairmis.Color_mis.run_planar (Lazy.force trigrid) (Rand_plan.make (next_seed ()))));
+    stage "rounds/luby-simulator/tree-256" (fun () ->
+        Fairmis.Luby.run_distributed (Lazy.force sim_tree) (Rand_plan.make (next_seed ()))) ]
+
+let run_timing () =
+  print_endline "== timing: one simulated run per table/figure workload";
+  let tests = timing_tests () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let header = [ "workload"; "ns/run"; "ms/run" ] in
+  let rows =
+    List.map
+      (fun test ->
+        let name = Test.Elt.name (List.hd (Test.elements test)) in
+        let results = Benchmark.all cfg instances test in
+        let analyzed = Analyze.all ols Instance.monotonic_clock results in
+        let row = ref [ name; "?"; "?" ] in
+        Hashtbl.iter
+          (fun _name ols_result ->
+            match Analyze.OLS.estimates ols_result with
+            | Some [ ns ] ->
+              row :=
+                [ name; Printf.sprintf "%.0f" ns;
+                  Printf.sprintf "%.3f" (ns /. 1e6) ]
+            | _ -> ())
+          analyzed;
+        !row)
+      tests
+  in
+  Mis_exp.Table.print ~header rows;
+  print_newline ()
+
+let run_experiment cfg id =
+  match Mis_exp.Registry.find id with
+  | Some e ->
+    Printf.printf "# [%s] %s (%s)\n\n" e.Mis_exp.Registry.id
+      e.Mis_exp.Registry.title e.Mis_exp.Registry.paper_ref;
+    e.Mis_exp.Registry.run cfg
+  | None ->
+    Printf.eprintf "unknown experiment %S; known: %s, timing\n" id
+      (String.concat ", " (Mis_exp.Registry.ids ()));
+    exit 2
+
+let () =
+  let cfg = Mis_exp.Config.load () in
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "list" ] ->
+    List.iter
+      (fun e ->
+        Printf.printf "%-10s %s (%s)\n" e.Mis_exp.Registry.id
+          e.Mis_exp.Registry.title e.Mis_exp.Registry.paper_ref)
+      Mis_exp.Registry.all;
+    print_endline "timing     Bechamel micro-benchmarks"
+  | [] | [ "all" ] ->
+    Printf.printf "fairmis bench — %s\n\n" (Mis_exp.Config.describe cfg);
+    List.iter
+      (fun e -> run_experiment cfg e.Mis_exp.Registry.id)
+      Mis_exp.Registry.all;
+    run_timing ()
+  | ids ->
+    List.iter
+      (fun id -> if id = "timing" then run_timing () else run_experiment cfg id)
+      ids

@@ -1,0 +1,241 @@
+(* fairmis — command-line driver.
+
+   fairmis_cli list
+   fairmis_cli topo  "alternating:branch=10,depth=5" --stats
+   fairmis_cli run   fairtree "star:n=64" --seed 3
+   fairmis_cli measure luby "star:n=64" --trials 5000
+   fairmis_cli experiment table1 fig4 *)
+
+open Cmdliner
+
+module View = Mis_graph.View
+module Graph = Mis_graph.Graph
+module Empirical = Mis_stats.Empirical
+module Rand_plan = Fairmis.Rand_plan
+
+let algorithms =
+  [ ("luby", Mis_exp.Runners.luby);
+    ( "luby-degree",
+      { Mis_exp.Runners.name = "Luby-A(degree)";
+        run =
+          (fun view ~seed -> Fairmis.Luby_degree.run view (Rand_plan.make seed)) } );
+    ("fairtree", Mis_exp.Runners.fair_tree);
+    ("fairbipart", Mis_exp.Runners.fair_bipart);
+    ("colormis", Mis_exp.Runners.color_mis_greedy);
+    ("colormis-planar", Mis_exp.Runners.color_mis_planar);
+    ( "colormis-adaptive",
+      { Mis_exp.Runners.name = "ColorMIS(adaptive)";
+        run =
+          (fun view ~seed ->
+            let plan = Rand_plan.make seed in
+            let coloring =
+              Fairmis.Distributed_coloring.randomized_greedy view plan
+            in
+            fst
+              (Fairmis.Color_mis.run_adaptive view
+                 ~coloring:coloring.Fairmis.Distributed_coloring.colors plan)) } );
+    ("greedy", Mis_exp.Runners.greedy_permutation);
+    ( "fairrooted",
+      { Mis_exp.Runners.name = "FairRooted";
+        run =
+          (fun view ~seed ->
+            let g = View.graph view in
+            if not (Mis_graph.Traverse.is_tree view) then
+              failwith "fairrooted requires a tree topology";
+            let t = Mis_graph.Rooted.of_tree g ~root:0 in
+            Fairmis.Fair_rooted.run t (Rand_plan.make seed)) } ) ]
+
+let runner_of_name name =
+  match List.assoc_opt name algorithms with
+  | Some r -> Ok r
+  | None ->
+    Error
+      (Printf.sprintf "unknown algorithm %S (known: %s)" name
+         (String.concat ", " (List.map fst algorithms)))
+
+let graph_of_spec spec =
+  match Mis_exp.Topo_spec.parse spec with
+  | Ok g -> Ok g
+  | Error e -> Error e
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    exit 2
+
+(* list *)
+
+let list_cmd =
+  let doc = "List algorithms, topologies, and experiments." in
+  let run () =
+    print_endline "algorithms:";
+    List.iter (fun (n, _) -> Printf.printf "  %s\n" n) algorithms;
+    print_endline "topologies (name:defaults):";
+    List.iter (fun n -> Printf.printf "  %s\n" n) Mis_exp.Topo_spec.names;
+    print_endline "experiments:";
+    List.iter
+      (fun e ->
+        Printf.printf "  %-10s %s (%s)\n" e.Mis_exp.Registry.id
+          e.Mis_exp.Registry.title e.Mis_exp.Registry.paper_ref)
+      Mis_exp.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* topo *)
+
+let spec_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TOPOLOGY")
+
+let topo_cmd =
+  let doc = "Generate a topology and print statistics or the edge list." in
+  let edges =
+    Arg.(value & flag & info [ "edges" ] ~doc:"Print the edge list.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+        & info [ "out" ] ~doc:"Write the edge list to this file.")
+  in
+  let dot =
+    Arg.(value & opt (some string) None
+        & info [ "dot" ] ~doc:"Write a Graphviz rendering to this file.")
+  in
+  let run spec print_edges out dot =
+    let g = or_die (graph_of_spec spec) in
+    let v = View.full g in
+    Printf.printf "topology %s: n=%d m=%d max-degree=%d components=%d%s\n" spec
+      (Graph.n g) (Graph.m g) (Graph.max_degree g)
+      (snd (Mis_graph.Traverse.components v))
+      (if Mis_graph.Traverse.is_tree v then " (tree)"
+       else if Mis_graph.Traverse.bipartition v <> None then " (bipartite)"
+       else "");
+    if print_edges then
+      Array.iter (fun (a, b) -> Printf.printf "%d %d\n" a b) (Graph.edges g);
+    (match out with
+    | Some path ->
+      Mis_graph.Io.write_edge_list g ~path;
+      Printf.printf "edge list written to %s\n" path
+    | None -> ());
+    match dot with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Mis_graph.Io.to_dot g);
+      close_out oc;
+      Printf.printf "dot written to %s\n" path
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "topo" ~doc) Term.(const run $ spec_arg $ edges $ out $ dot)
+
+(* run *)
+
+let alg_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"ALGORITHM")
+
+let spec_arg1 =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"TOPOLOGY")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+
+let run_cmd =
+  let doc = "Run one algorithm once and report the resulting MIS." in
+  let members =
+    Arg.(value & flag & info [ "members" ] ~doc:"Print the MIS members.")
+  in
+  let dot =
+    Arg.(value & opt (some string) None
+        & info [ "dot" ] ~doc:"Write a Graphviz rendering with the MIS filled.")
+  in
+  let run alg spec seed members dot =
+    let runner = or_die (runner_of_name alg) in
+    let g = or_die (graph_of_spec spec) in
+    let view = View.full g in
+    let mis = runner.Mis_exp.Runners.run view ~seed in
+    Fairmis.Mis.verify ~name:alg view mis;
+    let size = Array.fold_left (fun a b -> if b then a + 1 else a) 0 mis in
+    Printf.printf "%s on %s (seed %d): MIS size %d / %d nodes — valid\n"
+      runner.Mis_exp.Runners.name spec seed size (Graph.n g);
+    if members then begin
+      Array.iteri (fun u b -> if b then Printf.printf "%d " u) mis;
+      print_newline ()
+    end;
+    match dot with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Mis_graph.Io.to_dot ~highlight:mis g);
+      close_out oc;
+      Printf.printf "dot written to %s\n" path
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ alg_arg $ spec_arg1 $ seed_arg $ members $ dot)
+
+(* measure *)
+
+let measure_cmd =
+  let doc = "Monte Carlo estimate of the inequality factor." in
+  let trials =
+    Arg.(value & opt int 2000 & info [ "trials" ] ~doc:"Number of runs.")
+  in
+  let domains =
+    Arg.(value & opt (some int) None & info [ "domains" ] ~doc:"Parallel domains.")
+  in
+  let csv =
+    Arg.(value & opt (some string) None
+        & info [ "csv" ] ~doc:"Write the summary row to this CSV file.")
+  in
+  let run alg spec seed trials domains csv =
+    let runner = or_die (runner_of_name alg) in
+    let g = or_die (graph_of_spec spec) in
+    let view = View.full g in
+    let cfg = { Mis_stats.Montecarlo.trials; base_seed = seed; domains } in
+    let e =
+      Mis_stats.Montecarlo.estimate
+        ~check:(fun mis -> Fairmis.Mis.verify ~name:alg view mis)
+        cfg view
+        (fun ~seed -> runner.Mis_exp.Runners.run view ~seed)
+    in
+    let s = Empirical.summarize e in
+    Printf.printf
+      "%s on %s: trials=%d  inequality factor=%s  min P=%.4f  max P=%.4f  mean P=%.4f\n"
+      runner.Mis_exp.Runners.name spec trials
+      (Mis_exp.Table.float_cell s.Empirical.factor)
+      s.Empirical.min_freq s.Empirical.max_freq s.Empirical.mean_freq;
+    match csv with
+    | Some path ->
+      Mis_exp.Csv.write ~path
+        ~header:[ "algorithm"; "topology"; "trials"; "factor"; "min_p";
+                  "max_p"; "mean_p" ]
+        [ [ runner.Mis_exp.Runners.name; spec; string_of_int trials;
+            Mis_exp.Table.float_cell s.Empirical.factor;
+            Printf.sprintf "%.6f" s.Empirical.min_freq;
+            Printf.sprintf "%.6f" s.Empirical.max_freq;
+            Printf.sprintf "%.6f" s.Empirical.mean_freq ] ];
+      Printf.printf "csv written to %s\n" path
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "measure" ~doc)
+    Term.(const run $ alg_arg $ spec_arg1 $ seed_arg $ trials $ domains $ csv)
+
+(* experiment *)
+
+let experiment_cmd =
+  let doc = "Run registered paper experiments (see 'list')." in
+  let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
+  let run ids =
+    let cfg = Mis_exp.Config.load () in
+    List.iter
+      (fun id ->
+        match Mis_exp.Registry.find id with
+        | Some e -> e.Mis_exp.Registry.run cfg
+        | None ->
+          Printf.eprintf "unknown experiment %S\n" id;
+          exit 2)
+      ids
+  in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ ids)
+
+let () =
+  let doc = "Fair Maximal Independent Sets — simulator and experiments" in
+  let info = Cmd.info "fairmis_cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; topo_cmd; run_cmd; measure_cmd; experiment_cmd ]))

@@ -1,0 +1,1 @@
+examples/backbone_rotation.ml: Array Fairmis Mis_graph Mis_workload Printf

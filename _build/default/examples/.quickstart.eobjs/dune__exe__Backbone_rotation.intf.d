@@ -1,0 +1,1 @@
+examples/backbone_rotation.mli:

@@ -1,0 +1,1 @@
+examples/custom_protocol.ml: Array List Mis_graph Mis_sim Mis_util Mis_workload Printf

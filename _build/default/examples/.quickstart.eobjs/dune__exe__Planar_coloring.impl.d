@@ -1,0 +1,1 @@
+examples/planar_coloring.ml: Array Fairmis Mis_graph Mis_stats Mis_workload Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Fairmis Mis_graph Mis_stats Mis_workload Printf

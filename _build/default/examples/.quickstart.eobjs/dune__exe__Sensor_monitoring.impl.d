@@ -1,0 +1,1 @@
+examples/sensor_monitoring.ml: Array Fairmis Mis_graph Mis_workload Printf

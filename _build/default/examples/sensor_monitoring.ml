@@ -1,0 +1,55 @@
+(* Network monitoring — the paper's second motivation (Sec. I-A): each
+   epoch the MIS nodes log their neighbors' behavior, consuming a unit of
+   their local storage. Monitoring coverage degrades when the first
+   sensors exhaust their storage; an unfair election makes the
+   always-elected sensors die early.
+
+   dune exec examples/sensor_monitoring.exe *)
+
+module View = Mis_graph.View
+module Rand_plan = Fairmis.Rand_plan
+
+let storage_capacity = 150
+let max_epochs = 400
+
+let simulate view name run =
+  let n = View.n view in
+  let used = Array.make n 0 in
+  let died = Array.make n max_epochs in
+  for epoch = 0 to max_epochs - 1 do
+    let mis = run ~seed:(5000 + epoch) in
+    Fairmis.Mis.verify ~name view mis;
+    Array.iteri
+      (fun u b ->
+        if b then begin
+          used.(u) <- used.(u) + 1;
+          if used.(u) = storage_capacity then died.(u) <- epoch
+        end)
+      mis
+  done;
+  let sorted = Array.copy died in
+  Array.sort compare sorted;
+  let first = sorted.(0) in
+  let dead =
+    Array.fold_left (fun acc d -> if d < max_epochs then acc + 1 else acc) 0 died
+  in
+  Printf.printf
+    "%-10s first sensor exhausted at epoch %s; %d/%d exhausted by epoch %d\n"
+    name
+    (if first = max_epochs then "never" else string_of_int first)
+    dead n max_epochs
+
+let () =
+  let g = Mis_workload.Trees.caterpillar ~spine:20 ~legs_per_node:6 in
+  let view = View.full g in
+  Printf.printf
+    "sensor network: caterpillar with %d sensors, storage for %d monitoring epochs\n\n"
+    (Mis_graph.Graph.n g) storage_capacity;
+  simulate view "Luby" (fun ~seed -> Fairmis.Luby.run view (Rand_plan.make seed));
+  simulate view "FairTree" (fun ~seed ->
+      Fairmis.Fair_tree.run view (Rand_plan.make seed));
+  print_endline
+    "\n(under Luby, the leaf sensors are elected almost every epoch and burn\n\
+     through storage at the maximum rate — the first failures arrive just\n\
+     after epoch 150; FairTree elects every sensor between ~1/4 and ~3/4 of\n\
+     the time, pushing the first failure far later.)"

@@ -1,0 +1,1 @@
+lib/core/block_program.ml: Array List Mis_sim

@@ -1,0 +1,1 @@
+lib/core/block_program.mli: Mis_sim

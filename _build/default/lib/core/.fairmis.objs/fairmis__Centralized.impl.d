@@ -1,0 +1,1 @@
+lib/core/centralized.ml: Array Mis_graph Mis_util

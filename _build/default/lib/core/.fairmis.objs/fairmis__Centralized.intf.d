@@ -1,0 +1,1 @@
+lib/core/centralized.mli: Mis_graph Mis_util

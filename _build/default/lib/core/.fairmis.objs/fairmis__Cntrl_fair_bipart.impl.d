@@ -1,0 +1,1 @@
+lib/core/cntrl_fair_bipart.ml: Array Hashtbl List Mis_graph Mis_sim Mis_util Rand_plan

@@ -1,0 +1,1 @@
+lib/core/cntrl_fair_bipart.mli: Mis_graph Mis_sim Rand_plan

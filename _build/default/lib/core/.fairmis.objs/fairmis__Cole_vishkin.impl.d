@@ -1,0 +1,1 @@
+lib/core/cole_vishkin.ml: Array List Mis_graph

@@ -1,0 +1,1 @@
+lib/core/cole_vishkin.mli: Mis_graph

@@ -1,0 +1,1 @@
+lib/core/color_mis.ml: Array Construct_block Distributed_coloring Hashtbl List Luby Mis Mis_graph Rand_plan

@@ -1,0 +1,1 @@
+lib/core/color_mis.mli: Mis_graph Rand_plan

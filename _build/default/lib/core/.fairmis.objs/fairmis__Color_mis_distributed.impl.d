@@ -1,0 +1,1 @@
+lib/core/color_mis_distributed.ml: Array Block_program Color_mis Mis_graph Mis_sim Rand_plan

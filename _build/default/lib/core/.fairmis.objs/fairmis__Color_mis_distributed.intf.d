@@ -1,0 +1,1 @@
+lib/core/color_mis_distributed.mli: Block_program Mis_graph Mis_sim Rand_plan

@@ -1,0 +1,1 @@
+lib/core/construct_block.ml: Array Mis_graph Mis_util

@@ -1,0 +1,1 @@
+lib/core/construct_block.mli: Mis_graph

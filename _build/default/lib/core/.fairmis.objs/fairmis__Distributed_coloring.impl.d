@@ -1,0 +1,1 @@
+lib/core/distributed_coloring.ml: Array Hashtbl List Mis_graph Mis_util Rand_plan

@@ -1,0 +1,1 @@
+lib/core/distributed_coloring.mli: Mis_graph Rand_plan

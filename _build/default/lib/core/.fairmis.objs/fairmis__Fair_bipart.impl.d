@@ -1,0 +1,1 @@
+lib/core/fair_bipart.ml: Array Construct_block Luby Mis Mis_graph Rand_plan

@@ -1,0 +1,1 @@
+lib/core/fair_bipart.mli: Mis_graph Rand_plan

@@ -1,0 +1,1 @@
+lib/core/fair_bipart_distributed.ml: Block_program Fair_bipart Mis_graph Mis_sim Rand_plan

@@ -1,0 +1,1 @@
+lib/core/fair_rooted.ml: Array Cole_vishkin Mis_graph Rand_plan

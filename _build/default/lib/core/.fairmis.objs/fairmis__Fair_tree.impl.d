@@ -1,0 +1,1 @@
+lib/core/fair_tree.ml: Array Cntrl_fair_bipart Luby Mis Mis_graph Rand_plan

@@ -1,0 +1,1 @@
+lib/core/fair_tree.mli: Mis_graph Rand_plan

@@ -1,0 +1,1 @@
+lib/core/fair_tree_distributed.mli: Messages Mis_graph Mis_sim Rand_plan

@@ -1,0 +1,1 @@
+lib/core/luby.ml: Array List Mis_graph Mis_sim Rand_plan

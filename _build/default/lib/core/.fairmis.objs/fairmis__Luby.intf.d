@@ -1,0 +1,1 @@
+lib/core/luby.mli: Mis_graph Mis_sim Rand_plan

@@ -1,0 +1,1 @@
+lib/core/luby_degree.ml: Array List Mis_graph Mis_sim Rand_plan

@@ -1,0 +1,1 @@
+lib/core/rand_plan.ml: Int64 Mis_util

@@ -1,0 +1,1 @@
+lib/core/rand_plan.mli: Mis_util

@@ -1,0 +1,145 @@
+module Program = Mis_sim.Program
+module Node_ctx = Mis_sim.Node_ctx
+
+type message =
+  | Entry of { slot : int; id : int; payload : int }
+  | Member of bool
+  | Value of int
+  | In_mis
+  | Withdraw
+
+type config = {
+  gamma : int;
+  radius_of : int -> int;
+  payload_of : int -> int;
+  flip_per_hop : bool;
+  joins : id:int -> payload:int -> bool;
+  luby_value : id:int -> phase:int -> int;
+}
+
+type luby_sub = Await_values | Await_in_mis | Await_withdraws
+
+type state = {
+  round : int;
+  l_table : int array;
+  b_table : int array;
+  snap_l : int array;
+  snap_b : int array;
+  i1 : bool;
+  luby_phase : int;
+  luby_sub : luby_sub;
+  luby_value : int;
+}
+
+let beats (v1, id1) (v2, id2) = v1 < v2 || (v1 = v2 && id1 < id2)
+
+let merge st inbox =
+  List.iter
+    (fun (_, m) ->
+      match m with
+      | Entry { slot; id; payload } ->
+        if id > st.l_table.(slot) then begin
+          st.l_table.(slot) <- id;
+          st.b_table.(slot) <- payload
+        end
+      | Member _ | Value _ | In_mis | Withdraw -> ())
+    inbox
+
+let entry_action cfg st j =
+  if st.snap_l.(j) < 0 then []
+  else
+    let payload =
+      if cfg.flip_per_hop then 1 - st.snap_b.(j) else st.snap_b.(j)
+    in
+    [ Program.Broadcast (Entry { slot = j - 1; id = st.snap_l.(j); payload }) ]
+
+(* Leader = max id anywhere in the table; the block rule reads its highest
+   slot (shortest path = most remaining range). Returns the stage-1 join
+   decision. *)
+let decide cfg ~id st =
+  let best = ref (-1) and best_slot = ref (-1) in
+  Array.iteri
+    (fun i entry ->
+      if entry > !best || (entry = !best && i > !best_slot) then begin
+        best := entry;
+        best_slot := i
+      end)
+    st.l_table;
+  !best >= 0 && !best_slot > 0
+  && cfg.joins ~id ~payload:st.b_table.(!best_slot)
+
+let program cfg : (state, message) Program.t =
+  if cfg.gamma < 1 then invalid_arg "Block_program.program: gamma";
+  let g = cfg.gamma in
+  let stage1_rounds = g * g in
+  let init (ctx : Node_ctx.t) =
+    let r_v = cfg.radius_of ctx.id in
+    if r_v < 0 || r_v > g then invalid_arg "Block_program: radius_of";
+    let l_table = Array.make (g + 1) (-1) in
+    let b_table = Array.make (g + 1) (-1) in
+    l_table.(r_v) <- ctx.id;
+    b_table.(r_v) <- cfg.payload_of ctx.id;
+    let st =
+      { round = 0; l_table; b_table; snap_l = Array.copy l_table;
+        snap_b = Array.copy b_table; i1 = false; luby_phase = 0;
+        luby_sub = Await_values; luby_value = 0 }
+    in
+    (st, entry_action cfg st 1)
+  in
+  let receive (ctx : Node_ctx.t) st inbox =
+    let r = st.round + 1 in
+    let st = { st with round = r } in
+    let id = ctx.id in
+    if r <= stage1_rounds then begin
+      merge st inbox;
+      if r = stage1_rounds then begin
+        let i1 = decide cfg ~id st in
+        (Program.Continue { st with i1 }, [ Program.Broadcast (Member i1) ])
+      end
+      else begin
+        let st =
+          if r mod g = 0 then
+            { st with snap_l = Array.copy st.l_table;
+              snap_b = Array.copy st.b_table }
+          else st
+        in
+        (Program.Continue st, entry_action cfg st ((r mod g) + 1))
+      end
+    end
+    else if r = stage1_rounds + 1 then begin
+      if st.i1 then (Program.Output true, [])
+      else if List.exists (fun (_, m) -> m = Member true) inbox then
+        (Program.Output false, [])
+      else begin
+        let v = cfg.luby_value ~id ~phase:0 in
+        ( Program.Continue
+            { st with luby_phase = 0; luby_sub = Await_values; luby_value = v },
+          [ Program.Broadcast (Value v) ] )
+      end
+    end
+    else begin
+      match st.luby_sub with
+      | Await_values ->
+        let beaten = ref false in
+        List.iter
+          (fun (sender, m) ->
+            match m with
+            | Value v ->
+              if not (beats (st.luby_value, id) (v, sender)) then beaten := true
+            | Entry _ | Member _ | In_mis | Withdraw -> ())
+          inbox;
+        if !beaten then (Program.Continue { st with luby_sub = Await_in_mis }, [])
+        else (Program.Output true, [ Program.Broadcast In_mis ])
+      | Await_in_mis ->
+        if List.exists (fun (_, m) -> m = In_mis) inbox then
+          (Program.Output false, [ Program.Broadcast Withdraw ])
+        else (Program.Continue { st with luby_sub = Await_withdraws }, [])
+      | Await_withdraws ->
+        let phase = st.luby_phase + 1 in
+        let v = cfg.luby_value ~id ~phase in
+        ( Program.Continue
+            { st with luby_phase = phase; luby_sub = Await_values; luby_value = v },
+          [ Program.Broadcast (Value v) ] )
+    end
+  in
+  { Program.name = "block_mis"; init; receive }

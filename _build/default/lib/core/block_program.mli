@@ -1,0 +1,30 @@
+(** The generic distributed block-decomposition MIS skeleton shared by
+    FairBipart and ColorMIS (paper Secs. VI–VII): γ superrounds of
+    Construct_Block leader-table shipping (one O(log n)-bit entry per
+    round), a stage-1 join decision from the observed leader payload, a
+    coverage announcement, and a Luby stage over the uncovered nodes. *)
+
+type message =
+  | Entry of { slot : int; id : int; payload : int }
+      (** One leader-table entry; [slot] is the receiver-side slot and
+          [payload] has already been flipped for the hop when the config
+          says so. *)
+  | Member of bool
+  | Value of int
+  | In_mis
+  | Withdraw
+
+type config = {
+  gamma : int;
+  radius_of : int -> int;  (** Per-node broadcast radius (by id). *)
+  payload_of : int -> int;  (** Payload shipped with the node's own entry. *)
+  flip_per_hop : bool;  (** Complement a {0,1} payload at each hop. *)
+  joins : id:int -> payload:int -> bool;
+      (** Stage-1 rule for a node that landed in a block, given the
+          payload observed for its leader. *)
+  luby_value : id:int -> phase:int -> int;  (** Fallback-stage priorities. *)
+}
+
+type state
+
+val program : config -> (state, message) Mis_sim.Program.t

@@ -1,0 +1,48 @@
+(** CntrlFairBipart (paper Sec. V): the perfectly fair MIS subroutine for
+    low-diameter bipartite components.
+
+    Given an estimate [d_hat] of the component diameter, each component
+    runs a [d_hat]-round flood-max leader election; the leader(s) flip a
+    bit and start a breadth-first search carrying (depth, bit); a node at
+    level [i] joins the MIS iff [i + bit] is even. A node that is alone
+    (degree 0 in the view) always joins.
+
+    When [d_hat >= D(component)] this produces a correct MIS of the
+    component where every non-singleton node joins with probability exactly
+    1/2 (Lemma 7). When [d_hat] is an underestimate, multiple local leaders
+    may arise; the result is then not necessarily independent or maximal —
+    exactly as in the paper, where later stages repair it. *)
+
+type result = {
+  joined : bool array;
+  leader : int array;  (** Adopted leader id per node; [-1] if unreached. *)
+  level : int array;  (** Depth from the adopted leader; [-1] if unreached. *)
+  rounds : int;  (** [2 * d_hat] communication rounds. *)
+}
+
+val run : Mis_graph.View.t -> d_hat:int -> bit_of:(int -> bool) -> result
+(** Fast engine. Node ids are their indices. [bit_of u] is the bit node
+    [u] would flip were it elected leader; pass a {!Rand_plan} closure.
+    [d_hat] must be at least 1.
+    Exactly reproduces the round-by-round distributed semantics: the
+    common case (single leader covering the component within [d_hat])
+    is computed directly, any other component falls back to literal
+    synchronous relaxation. *)
+
+type message =
+  | Max_id of int
+  | Bfs of { lead : int; depth : int; bit : bool }
+
+type state
+
+val program :
+  d_hat:int -> bit_of:(int -> bool) -> (state, message) Mis_sim.Program.t
+
+val run_distributed :
+  Mis_graph.View.t ->
+  plan:Rand_plan.t ->
+  stage:int ->
+  d_hat:int ->
+  Mis_sim.Runtime.outcome
+(** Runs {!program} on the simulator with bits drawn from
+    [Rand_plan.node_bit plan ~stage]. *)

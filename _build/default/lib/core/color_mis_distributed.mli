@@ -1,0 +1,28 @@
+(** ColorMIS as a message-passing program (paper Sec. VII) for the
+    {!Mis_sim} runtime — the {!Block_program} skeleton with the leader's
+    uniformly random color choice shipped unchanged per hop; a node joins
+    in stage 1 iff it is inside a block and its own (input) color equals
+    the leader's pick; Luby covers the rest.
+
+    The proper coloring is an input here (in a full deployment it comes
+    from the distributed coloring stage that precedes ColorMIS). With
+    identity ids and a proper coloring the program is outcome-identical to
+    {!Color_mis.run} with the same parameters (asserted in the tests). *)
+
+val program :
+  plan:Rand_plan.t ->
+  p:float ->
+  gamma:int ->
+  coloring:int array ->
+  k:int ->
+  (Block_program.state, Block_program.message) Mis_sim.Program.t
+(** [coloring] is indexed by node id (identity ids assumed). *)
+
+val run :
+  ?p:float ->
+  ?gamma:int ->
+  Mis_graph.View.t ->
+  coloring:int array ->
+  k:int ->
+  Rand_plan.t ->
+  Mis_sim.Runtime.outcome

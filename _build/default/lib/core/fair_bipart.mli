@@ -1,0 +1,35 @@
+(** FairBipart (paper Sec. VI, Fig. 3): the fair MIS algorithm for
+    bipartite graphs, O(log^2 n) rounds, inequality factor <= 8
+    (Theorem 13), approaching 4 as γ grows.
+
+    Stage 1 runs {!Construct_block} with a random bit piggybacked on the
+    leader flood (complemented per hop); a node joins I iff it lands in a
+    block and its observed bit is 1. Because all paths between two nodes
+    of a bipartite graph have the same length parity, two neighbors in a
+    block never read the same bit, so I is independent (Lemma 14).
+    Stage 2 covers the rest with Luby.
+
+    On non-bipartite inputs the implementation stays safe: any
+    independence violations (impossible in the bipartite case) are removed
+    before the Luby stage, so the output is always a valid MIS. *)
+
+type trace = {
+  in_block : bool array;
+  i1 : bool array;  (** I at the end of stage 1. *)
+  violations_removed : int;  (** 0 whenever the active subgraph is bipartite. *)
+  fallback_nodes : int;  (** Nodes covered by the Luby stage. *)
+  rounds : int;
+}
+
+val gamma_default : n:int -> int
+(** 2·⌈lg n⌉, the paper's choice (block-join probability > 1/4). *)
+
+val run :
+  ?p:float -> ?gamma:int -> Mis_graph.View.t -> Rand_plan.t -> bool array
+
+val run_traced :
+  ?p:float ->
+  ?gamma:int ->
+  Mis_graph.View.t ->
+  Rand_plan.t ->
+  bool array * trace

@@ -1,0 +1,35 @@
+(** FairRooted (paper Sec. IV): the fair MIS algorithm for rooted trees
+    and forests.
+
+    Stage 1: every node tags itself with a uniform bit; the root also tags
+    a virtual parent. A node with tag 0 whose parent has tag 1 joins I —
+    probability exactly 1/4 per node. Stage 2: covered nodes terminate;
+    the uncovered remainder (a rooted forest) runs the Cole–Vishkin
+    O(log* n) MIS. Theorem 3: correct MIS, inequality factor <= 4. *)
+
+type trace = {
+  stage1 : bool array;  (** I after stage 1. *)
+  rounds : int;  (** 2 + Cole–Vishkin rounds. *)
+}
+
+val run : ?ids:int array -> Mis_graph.Rooted.t -> Rand_plan.t -> bool array
+(** [ids] seeds the deterministic stage-2 coloring (default: node index). *)
+
+val run_traced :
+  ?ids:int array -> Mis_graph.Rooted.t -> Rand_plan.t -> bool array * trace
+
+val run_with_tags :
+  Mis_graph.Rooted.t ->
+  ids:int array ->
+  tag:(int -> bool) ->
+  vtag:(int -> bool) ->
+  bool array * trace
+(** The algorithm with its coins abstracted out: [tag v] is node [v]'s
+    stage-1 bit, [vtag r] the virtual-parent bit drawn by root [r]. *)
+
+val exact_join_probabilities : ?ids:int array -> Mis_graph.Rooted.t -> float array
+(** Exact per-node join probability by exhausting all [2^(n + #roots)]
+    coin outcomes (the whole randomness of FairRooted — stage 2 is
+    deterministic given ids). Noise-free validation of Theorem 3:
+    every entry lies in [\[1/4, 1\]].
+    @raise Invalid_argument when [n + #roots > 24]. *)

@@ -1,0 +1,138 @@
+module Program = Mis_sim.Program
+module Node_ctx = Mis_sim.Node_ctx
+module Stage = Rand_plan.Stage
+open Messages
+
+type state = {
+  round : int;
+  tag : bool;
+  i1 : bool;
+  keep : bool;
+  parent_kept : bool;
+  color : int;
+  old_color : int;
+  blocked : bool;
+  in_mis : bool;
+}
+
+let from_parent parent inbox =
+  List.find_map
+    (fun (sender, m) -> if sender = parent then Some m else None)
+    inbox
+
+let parent_color parent inbox =
+  match from_parent parent inbox with
+  | Some (Color c) -> c
+  | Some (Max_id _ | Bfs _ | Member _ | Value _ | In_mis | Withdraw) | None ->
+    invalid_arg "Fair_rooted_distributed: missing parent color"
+
+let any_member inbox =
+  List.exists (fun (_, m) -> m = Member true) inbox
+
+let program ~parent_of ~plan ~schedule : (state, Messages.t) Program.t =
+  if schedule < 0 then invalid_arg "Fair_rooted_distributed.program: schedule";
+  let t = schedule in
+  let init (ctx : Node_ctx.t) =
+    let tag = Rand_plan.node_bit plan ~stage:Stage.fair_rooted_tag ~node:ctx.id in
+    ( { round = 0; tag; i1 = false; keep = false; parent_kept = false;
+        color = -1; old_color = -1; blocked = false; in_mis = false },
+      [ Program.Broadcast (Member tag) ] )
+  in
+  let receive (ctx : Node_ctx.t) st inbox =
+    let r = st.round + 1 in
+    let st = { st with round = r } in
+    let id = ctx.id in
+    let parent = parent_of id in
+    if r = 1 then begin
+      (* Stage 1: join I iff my tag is 0 and my parent's tag is 1. *)
+      let ptag =
+        if parent < 0 then
+          Rand_plan.node_bit plan ~stage:Stage.fair_rooted_virtual ~node:id
+        else
+          match from_parent parent inbox with
+          | Some (Member b) -> b
+          | _ -> invalid_arg "Fair_rooted_distributed: missing parent tag"
+      in
+      let i1 = (not st.tag) && ptag in
+      (Program.Continue { st with i1 }, [ Program.Broadcast (Member i1) ])
+    end
+    else if r = 2 then begin
+      let covered = st.i1 || any_member inbox in
+      let keep = not covered in
+      (Program.Continue { st with keep }, [ Program.Broadcast (Member keep) ])
+    end
+    else if r = 3 then begin
+      let parent_kept =
+        parent >= 0 && from_parent parent inbox = Some (Member true)
+      in
+      let st = { st with parent_kept } in
+      if st.keep then
+        (Program.Continue { st with color = id }, [ Program.Broadcast (Color id) ])
+      else (Program.Continue st, [])
+    end
+    else if r <= 3 + t then begin
+      (* Cole–Vishkin bit reduction, one iteration per round. *)
+      if not st.keep then (Program.Continue st, [])
+      else begin
+        let pc =
+          if st.parent_kept then parent_color parent inbox
+          else Cole_vishkin.virtual_parent_color st.color
+        in
+        let color = Cole_vishkin.reduce_step ~own:st.color ~parent:pc in
+        (Program.Continue { st with color }, [ Program.Broadcast (Color color) ])
+      end
+    end
+    else if r <= 9 + t then begin
+      (* Three shift-down phases, two rounds each, eliminating 5, 4, 3. *)
+      if not st.keep then (Program.Continue st, [])
+      else begin
+        let k = (r - (4 + t)) / 2 in
+        let target = List.nth [ 5; 4; 3 ] k in
+        let is_shift_round = (r - (4 + t)) mod 2 = 0 in
+        if is_shift_round then begin
+          let old_color = st.color in
+          let color =
+            if st.parent_kept then parent_color parent inbox
+            else Cole_vishkin.shift_root_color old_color
+          in
+          ( Program.Continue { st with color; old_color },
+            [ Program.Broadcast (Color color) ] )
+        end
+        else begin
+          let color =
+            if st.color = target then begin
+              let parent_new =
+                if st.parent_kept then parent_color parent inbox else -1
+              in
+              Cole_vishkin.recolor ~own_old:st.old_color ~parent_new
+            end
+            else st.color
+          in
+          (Program.Continue { st with color }, [ Program.Broadcast (Color color) ])
+        end
+      end
+    end
+    else if r <= 12 + t then begin
+      (* MIS from the 3-coloring: one round per color class. *)
+      let cls = r - (10 + t) in
+      let blocked = st.blocked || any_member inbox in
+      let st = { st with blocked } in
+      if st.keep && st.color = cls && (not blocked) && not st.in_mis then
+        (Program.Continue { st with in_mis = true },
+         [ Program.Broadcast (Member true) ])
+      else (Program.Continue st, [])
+    end
+    else (Program.Output (st.i1 || st.in_mis), [])
+  in
+  { Program.name = "fair_rooted"; init; receive }
+
+let run (rooted : Mis_graph.Rooted.t) plan =
+  let n = rooted.Mis_graph.Rooted.n in
+  let schedule = Cole_vishkin.iterations ~id_bound:(max n 1) in
+  let parent_of id = rooted.Mis_graph.Rooted.parent.(id) in
+  let view = Mis_graph.View.full (Mis_graph.Rooted.to_graph rooted) in
+  let prog = program ~parent_of ~plan ~schedule in
+  Mis_sim.Runtime.run
+    ~max_rounds:(schedule + 16)
+    ~rng_of:(fun u -> Rand_plan.node_stream plan ~stage:98 ~node:u)
+    view prog

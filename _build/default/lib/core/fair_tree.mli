@@ -1,0 +1,39 @@
+(** FairTree (paper Sec. V, Fig. 2): the fair MIS algorithm for unrooted
+    trees. Four stages:
+
+    + {b Cut}: every edge is cut with probability 1/2 (a shared edge coin);
+      CntrlFairBipart with D̂ = γ builds a fair MIS in each resulting
+      component.
+    + {b Resolve}: CntrlFairBipart runs again on the subgraph induced by
+      the current set I, dropping one side of each cross-component
+      conflict.
+    + {b Maximalize}: CntrlFairBipart runs on the still-uncovered nodes;
+      joiners are added.
+    + {b Fix}: any residual independence violations are removed and Luby's
+      algorithm covers whatever is left — a fallback that triggers only
+      when some component's diameter exceeded γ (probability < 1/n for the
+      default γ).
+
+    On a tree this guarantees P(join) >= (1-ε)/4 with ε < 1/n
+    (Theorem 8), i.e. an inequality factor approaching 4. *)
+
+type trace = {
+  cut : bool array;  (** Per-edge coin of stage 1 (meaningful for usable edges). *)
+  i1 : bool array;  (** I after stage 1. *)
+  i2 : bool array;  (** I after stage 2. *)
+  i3 : bool array;  (** I after stage 3. *)
+  fallback_nodes : int;  (** How many nodes ran the Luby fallback. *)
+  rounds : int;  (** Round cost of the run (stages are fixed-length). *)
+}
+
+val gamma_default : n:int -> int
+(** γ = 4·⌈lg n⌉ + 2: large enough that the union-bound argument of
+    Lemma 11 gives ε < 1/n. *)
+
+val run : ?gamma:int -> Mis_graph.View.t -> Rand_plan.t -> bool array
+(** Fast engine. The view may be any graph — correctness (a valid MIS) is
+    unconditional; the fairness guarantee holds when the active subgraph is
+    a forest. *)
+
+val run_traced :
+  ?gamma:int -> Mis_graph.View.t -> Rand_plan.t -> bool array * trace

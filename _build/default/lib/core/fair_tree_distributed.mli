@@ -1,0 +1,34 @@
+(** FairTree as a genuine message-passing program (paper Sec. V, Fig. 2),
+    for execution on the {!Mis_sim} runtime.
+
+    The global round schedule (all nodes know n and γ, so all stage
+    boundaries are synchronized, exactly as the paper prescribes —
+    "non-participants simply wait that number of rounds"):
+
+    - rounds 0..2γ: stage 1 — CntrlFairBipart over the uncut edges (each
+      node derives the shared coin of every incident edge from the
+      randomness plan);
+    - 1 round: announce membership in I₁;
+    - 2γ rounds: stage 2 — CntrlFairBipart on the subgraph induced by I₁;
+    - 2 rounds: announce I₂, then announce uncovered status;
+    - 2γ rounds: stage 3 — CntrlFairBipart on the uncovered nodes;
+    - 2 rounds: announce I₃, then announce the repaired I₄;
+    - stage 4: covered nodes terminate; the rest run Luby's algorithm
+      (3 rounds per phase) until termination.
+
+    With identity ids, the program flips exactly the same coins as
+    {!Fair_tree.run}, so both produce identical MIS outputs for any seed —
+    asserted by the test suite. *)
+
+type state
+
+val program :
+  plan:Rand_plan.t -> gamma:int -> (state, Messages.t) Mis_sim.Program.t
+
+val run :
+  ?gamma:int -> Mis_graph.View.t -> Rand_plan.t -> Mis_sim.Runtime.outcome
+(** Execute on the simulator with identity ids and a round budget of
+    [6γ + O(log n)] rounds. *)
+
+val message_bits : n:int -> Messages.t -> int
+(** Size accounting: every message fits in O(log n) bits. *)

@@ -1,0 +1,106 @@
+module View = Mis_graph.View
+module Program = Mis_sim.Program
+
+type stats = { phases : int }
+
+let default_stage = Rand_plan.Stage.luby_main
+
+(* A node wins a phase when its (value, id) pair is a strict lexicographic
+   minimum among itself and its live neighbors. *)
+let beats (v1, id1) (v2, id2) = v1 < v2 || (v1 = v2 && id1 < id2)
+
+let run_stats ?(stage = default_stage) view plan =
+  let n = View.n view in
+  let in_mis = Array.make n false in
+  let alive = Array.make n false in
+  View.iter_active view (fun u -> alive.(u) <- true);
+  let live = ref (View.active_nodes view) in
+  let value = Array.make n 0 in
+  let phase = ref 0 in
+  while Array.length !live > 0 do
+    let nodes = !live in
+    Array.iter
+      (fun u -> value.(u) <- Rand_plan.node_value plan ~stage ~round:!phase ~node:u)
+      nodes;
+    let winners =
+      Array.to_list nodes
+      |> List.filter (fun u ->
+             let mine = (value.(u), u) in
+             let beaten = ref false in
+             View.iter_adj view u (fun w ->
+                 if alive.(w) && not (beats mine (value.(w), w)) then beaten := true);
+             not !beaten)
+    in
+    List.iter
+      (fun u ->
+        in_mis.(u) <- true;
+        alive.(u) <- false;
+        View.iter_adj view u (fun w -> alive.(w) <- false))
+      winners;
+    live := Array.of_list (List.filter (fun u -> alive.(u)) (Array.to_list nodes));
+    incr phase
+  done;
+  (in_mis, { phases = !phase })
+
+let run ?stage view plan = fst (run_stats ?stage view plan)
+
+type message =
+  | Value of int
+  | In_mis
+  | Withdraw
+
+type sub =
+  | Await_values
+  | Await_in_mis
+  | Await_withdraws
+
+type state = {
+  phase : int;
+  sub : sub;
+  live : int list; (* ids of still-competing neighbors *)
+  my_value : int;
+}
+
+let program plan ~stage : (state, message) Program.t =
+  let value_of id phase = Rand_plan.node_value plan ~stage ~round:phase ~node:id in
+  let init (ctx : Mis_sim.Node_ctx.t) =
+    let v = value_of ctx.id 0 in
+    ( { phase = 0; sub = Await_values; live = Array.to_list ctx.neighbor_ids;
+        my_value = v },
+      [ Program.Broadcast (Value v) ] )
+  in
+  let receive (ctx : Mis_sim.Node_ctx.t) st inbox =
+    match st.sub with
+    | Await_values ->
+      let beaten = ref false in
+      List.iter
+        (fun (sender, msg) ->
+          match msg with
+          | Value v ->
+            if not (beats (st.my_value, ctx.id) (v, sender)) then beaten := true
+          | In_mis | Withdraw -> ())
+        inbox;
+      if !beaten then (Program.Continue { st with sub = Await_in_mis }, [])
+      else (Program.Output true, [ Program.Broadcast In_mis ])
+    | Await_in_mis ->
+      let covered = List.exists (fun (_, m) -> m = In_mis) inbox in
+      if covered then (Program.Output false, [ Program.Broadcast Withdraw ])
+      else (Program.Continue { st with sub = Await_withdraws }, [])
+    | Await_withdraws ->
+      let gone =
+        List.filter_map
+          (fun (sender, m) -> if m = Withdraw then Some sender else None)
+          inbox
+      in
+      let live = List.filter (fun id -> not (List.mem id gone)) st.live in
+      let phase = st.phase + 1 in
+      let v = value_of ctx.id phase in
+      ( Program.Continue { phase; sub = Await_values; live; my_value = v },
+        [ Program.Broadcast (Value v) ] )
+  in
+  { Program.name = "luby"; init; receive }
+
+let run_distributed ?(stage = default_stage) view plan =
+  let prog = program plan ~stage in
+  Mis_sim.Runtime.run ~rng_of:(fun u -> Rand_plan.node_stream plan ~stage ~node:u)
+    view prog

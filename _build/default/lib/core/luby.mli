@@ -1,0 +1,33 @@
+(** Luby's randomized MIS algorithm [Luby 1986], the baseline of the
+    paper's evaluation (Sec. IX) and the maximality fallback of FairTree,
+    FairBipart and ColorMIS.
+
+    Variant: the random-priority comparison. In each phase every live node
+    draws a uniform value; a node whose (value, id) pair is a strict local
+    minimum joins the MIS, after which it and its neighbors leave the
+    graph. O(log n) phases with high probability. *)
+
+type stats = { phases : int }
+
+val run : ?stage:int -> Mis_graph.View.t -> Rand_plan.t -> bool array
+(** Fast array engine over the active subgraph. [stage] defaults to
+    [Rand_plan.Stage.luby_main]; composite algorithms pass their own stage
+    tag so the fallback coins are independent of earlier stages. *)
+
+val run_stats : ?stage:int -> Mis_graph.View.t -> Rand_plan.t -> bool array * stats
+
+(** Messages of the distributed program (3 rounds per phase). *)
+type message =
+  | Value of int  (** My priority this phase. *)
+  | In_mis  (** I joined; you are covered. *)
+  | Withdraw  (** I halted (joined or covered); remove me. *)
+
+type state
+
+val program : Rand_plan.t -> stage:int -> (state, message) Mis_sim.Program.t
+(** Faithful message-passing implementation. With default ids (the node
+    index) it flips exactly the same coins as {!run}, so both engines
+    return identical sets — asserted in the test suite. *)
+
+val run_distributed :
+  ?stage:int -> Mis_graph.View.t -> Rand_plan.t -> Mis_sim.Runtime.outcome

@@ -1,0 +1,8 @@
+type t =
+  | Max_id of int
+  | Bfs of { lead : int; depth : int; bit : bool }
+  | Member of bool
+  | Color of int
+  | Value of int
+  | In_mis
+  | Withdraw

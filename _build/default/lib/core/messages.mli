@@ -1,0 +1,12 @@
+(** Message vocabulary shared by the composite distributed programs
+    (FairTree, FairRooted). All variants fit in O(log n) bits. *)
+
+type t =
+  | Max_id of int  (** Leader-election flood (CntrlFairBipart phase 1). *)
+  | Bfs of { lead : int; depth : int; bit : bool }
+      (** Leader BFS (CntrlFairBipart phase 2). *)
+  | Member of bool  (** Stage-boundary membership/coverage announcement. *)
+  | Color of int  (** Cole–Vishkin color exchange. *)
+  | Value of int  (** Luby per-phase priority. *)
+  | In_mis  (** Luby: sender joined; you are covered. *)
+  | Withdraw  (** Luby: sender halted; remove from competition. *)

@@ -1,0 +1,34 @@
+module View = Mis_graph.View
+module Check = Mis_graph.Check
+
+exception Invalid of string
+
+let is_independent = Check.is_independent_set
+let is_maximal view set = Check.is_maximal_independent view set
+let is_mis = is_maximal
+
+let verify ~name view set =
+  if not (is_independent view set) then
+    raise (Invalid (name ^ ": independence violated"));
+  if not (is_maximal view set) then raise (Invalid (name ^ ": not maximal"))
+
+let violations view set =
+  let acc = ref [] in
+  View.iter_active view (fun u ->
+      if set.(u) then
+        View.iter_adj view u (fun v -> if v > u && set.(v) then acc := (u, v) :: !acc));
+  !acc
+
+let remove_violations view set =
+  let out = Array.copy set in
+  View.iter_active view (fun u ->
+      if set.(u) && View.exists_adj view u (fun v -> set.(v)) then out.(u) <- false);
+  out
+
+let uncovered view set =
+  let n = View.n view in
+  let out = Array.make n false in
+  View.iter_active view (fun u ->
+      if (not set.(u)) && not (View.exists_adj view u (fun v -> set.(v))) then
+        out.(u) <- true);
+  out

@@ -1,0 +1,45 @@
+module Splitmix = Mis_util.Splitmix
+
+type t = { base : int64; seed_int : int }
+
+let make s = { base = Splitmix.derive (Int64.of_int s) [ 0x5EED ]; seed_int = s }
+let seed t = t.seed_int
+
+module Stage = struct
+  let fair_rooted_tag = 1
+  let fair_rooted_virtual = 2
+  let fair_tree_cut = 10
+  let fair_tree_s1 = 11
+  let fair_tree_s2 = 12
+  let fair_tree_s3 = 13
+  let fair_tree_luby = 14
+  let fair_bipart_radius = 20
+  let fair_bipart_bit = 21
+  let fair_bipart_luby = 22
+  let color_mis_radius = 30
+  let color_mis_choice = 31
+  let color_mis_luby = 32
+  let coloring_greedy = 40
+  let coloring_layered = 41
+  let luby_main = 50
+  let centralized = 60
+end
+
+let stream_of t keys = Splitmix.of_key (Splitmix.derive t.base keys)
+
+let node_bit t ~stage ~node = Splitmix.bool (stream_of t [ stage; 1; node ])
+
+let edge_bit t ~stage ~u ~v =
+  let a = min u v and b = max u v in
+  Splitmix.bool (stream_of t [ stage; 2; a; b ])
+
+let node_value t ~stage ~round ~node =
+  Splitmix.bits62 (stream_of t [ stage; 3; round; node ])
+
+let node_int t ~stage ~node ~bound =
+  Splitmix.int (stream_of t [ stage; 4; node ]) bound
+
+let node_radius t ~stage ~node ~p ~gamma =
+  Splitmix.geometric_truncated (stream_of t [ stage; 5; node ]) ~p ~gamma
+
+let node_stream t ~stage ~node = stream_of t [ stage; 6; node ]

@@ -1,0 +1,57 @@
+(** The randomness plan: every coin any algorithm flips is addressed by a
+    (seed, stage, entity, ...) key and derived through {!Mis_util.Splitmix}.
+
+    This gives three properties the whole repository relies on:
+    - runs are reproducible from a single integer seed;
+    - the fast array engine and the distributed simulator engine of the
+      same algorithm flip {e identical} coins, so their outputs can be
+      compared for exact equality in tests;
+    - stages of a composite algorithm (e.g. FairTree's four stages) use
+      independent randomness, as the paper's analysis assumes. *)
+
+type t
+
+val make : int -> t
+val seed : t -> int
+
+(** Stage tags. Each (algorithm, stage) pair gets a distinct namespace. *)
+module Stage : sig
+  val fair_rooted_tag : int
+  val fair_rooted_virtual : int
+  val fair_tree_cut : int
+  val fair_tree_s1 : int
+  val fair_tree_s2 : int
+  val fair_tree_s3 : int
+  val fair_tree_luby : int
+  val fair_bipart_radius : int
+  val fair_bipart_bit : int
+  val fair_bipart_luby : int
+  val color_mis_radius : int
+  val color_mis_choice : int
+  val color_mis_luby : int
+  val coloring_greedy : int
+  val coloring_layered : int
+  val luby_main : int
+  val centralized : int
+end
+
+val node_bit : t -> stage:int -> node:int -> bool
+(** One fair coin per (stage, node). *)
+
+val edge_bit : t -> stage:int -> u:int -> v:int -> bool
+(** One fair coin per (stage, edge); symmetric in [u]/[v] — this is the
+    paper's "cooperate with each neighbor" shared edge coin. *)
+
+val node_value : t -> stage:int -> round:int -> node:int -> int
+(** A fresh uniform 62-bit value per (stage, round, node): Luby's
+    per-round random priorities. *)
+
+val node_int : t -> stage:int -> node:int -> bound:int -> int
+(** Uniform in [\[0, bound)] per (stage, node). *)
+
+val node_radius : t -> stage:int -> node:int -> p:float -> gamma:int -> int
+(** The Linial–Saks truncated-geometric broadcast radius per node. *)
+
+val node_stream : t -> stage:int -> node:int -> Mis_util.Splitmix.t
+(** A whole private stream, for components that draw an unbounded number
+    of coins. *)

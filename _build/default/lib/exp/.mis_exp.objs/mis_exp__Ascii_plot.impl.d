@@ -1,0 +1,1 @@
+lib/exp/ascii_plot.ml: Array Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/exp/ascii_plot.mli:

@@ -1,0 +1,1 @@
+lib/exp/bipart.ml: Array Config Fairmis List Mis_graph Mis_stats Mis_util Mis_workload Printf Runners Table

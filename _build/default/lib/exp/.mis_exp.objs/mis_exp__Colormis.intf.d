@@ -1,0 +1,1 @@
+lib/exp/colormis.mli: Config

@@ -1,0 +1,1 @@
+lib/exp/cone.mli: Config

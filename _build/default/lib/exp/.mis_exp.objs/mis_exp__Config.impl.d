@@ -1,0 +1,1 @@
+lib/exp/config.ml: Mis_stats Printf String Sys

@@ -1,0 +1,1 @@
+lib/exp/convergence.ml: Array Config List Mis_graph Mis_stats Mis_workload Printf Runners Table

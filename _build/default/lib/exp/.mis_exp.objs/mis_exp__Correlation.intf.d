@@ -1,0 +1,1 @@
+lib/exp/correlation.mli: Config

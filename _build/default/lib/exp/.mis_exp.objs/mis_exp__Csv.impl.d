@@ -1,0 +1,1 @@
+lib/exp/csv.ml: Buffer Fun List String

@@ -1,0 +1,1 @@
+lib/exp/fig4.ml: Array Ascii_plot Config Csv Filename List Mis_stats Printf String Sys Table Table1 Workloads

@@ -1,0 +1,1 @@
+lib/exp/gamma_ablation.ml: Array Config Fairmis List Mis_graph Mis_stats Mis_workload Printf Table

@@ -1,0 +1,1 @@
+lib/exp/gamma_ablation.mli: Config

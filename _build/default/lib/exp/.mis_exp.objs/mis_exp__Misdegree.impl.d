@@ -1,0 +1,1 @@
+lib/exp/misdegree.ml: Array Config Fairmis List Mis_graph Mis_util Mis_workload Printf Table

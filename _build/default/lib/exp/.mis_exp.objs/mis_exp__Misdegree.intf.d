@@ -1,0 +1,1 @@
+lib/exp/misdegree.mli: Config

@@ -1,0 +1,1 @@
+lib/exp/regions.mli: Config

@@ -1,0 +1,1 @@
+lib/exp/registry.ml: Bipart Colormis Cone Config Convergence Correlation Detids Fig4 Gamma_ablation List Misdegree Regions Rooted Rounds Star Table1 Variants

@@ -1,0 +1,1 @@
+lib/exp/rounds.ml: Config Fairmis List Mis_graph Mis_sim Mis_util Mis_workload Printf Table

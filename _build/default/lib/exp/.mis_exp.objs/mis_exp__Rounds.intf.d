@@ -1,0 +1,1 @@
+lib/exp/rounds.mli: Config

@@ -1,0 +1,1 @@
+lib/exp/runners.ml: Config Fairmis Mis_graph Mis_stats Mis_util

@@ -1,0 +1,1 @@
+lib/exp/runners.mli: Config Mis_graph Mis_stats

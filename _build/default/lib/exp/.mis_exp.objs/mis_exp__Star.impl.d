@@ -1,0 +1,1 @@
+lib/exp/star.ml: Config List Mis_graph Mis_stats Mis_workload Printf Runners Table

@@ -1,0 +1,1 @@
+lib/exp/table.ml: Float List Printf String

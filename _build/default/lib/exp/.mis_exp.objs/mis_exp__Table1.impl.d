@@ -1,0 +1,1 @@
+lib/exp/table1.ml: Config Hashtbl Lazy List Mis_graph Mis_stats Printf Runners Table Workloads

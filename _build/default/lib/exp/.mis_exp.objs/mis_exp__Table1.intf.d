@@ -1,0 +1,1 @@
+lib/exp/table1.mli: Config Mis_stats Workloads

@@ -1,0 +1,1 @@
+lib/exp/topo_spec.ml: List Mis_graph Mis_util Mis_workload Printf String

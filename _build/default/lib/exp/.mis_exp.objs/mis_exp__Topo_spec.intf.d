@@ -1,0 +1,1 @@
+lib/exp/topo_spec.mli: Mis_graph

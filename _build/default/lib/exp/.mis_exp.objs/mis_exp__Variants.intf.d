@@ -1,0 +1,1 @@
+lib/exp/variants.mli: Config

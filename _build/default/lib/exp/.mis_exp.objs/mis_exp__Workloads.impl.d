@@ -1,0 +1,1 @@
+lib/exp/workloads.ml: Config Lazy Mis_graph Mis_workload

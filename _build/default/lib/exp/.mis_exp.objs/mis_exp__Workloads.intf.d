@@ -1,0 +1,1 @@
+lib/exp/workloads.mli: Config Lazy Mis_graph

@@ -1,0 +1,42 @@
+type series = {
+  label : char;
+  name : string;
+  points : (float * float) array;
+}
+
+(* Value of a step CDF at x: the y of the largest point-x <= x, else 0. *)
+let step_value points x =
+  let y = ref 0. in
+  Array.iter (fun (px, py) -> if px <= x then y := py) points;
+  !y
+
+let cdf_panel ~title ?(width = 61) ?(height = 16) series_list =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (title ^ "\n");
+  let grid = Array.make_matrix height width ' ' in
+  List.iter
+    (fun s ->
+      for col = 0 to width - 1 do
+        let x = float_of_int col /. float_of_int (width - 1) in
+        let y = step_value s.points x in
+        let row = int_of_float (Float.round (y *. float_of_int (height - 1))) in
+        let row = height - 1 - max 0 (min (height - 1) row) in
+        grid.(row).(col) <- s.label
+      done)
+    series_list;
+  for row = 0 to height - 1 do
+    let y_label =
+      if row = 0 then "1.0 |"
+      else if row = height - 1 then "0.0 |"
+      else "    |"
+    in
+    Buffer.add_string buf y_label;
+    Buffer.add_string buf (String.init width (fun c -> grid.(row).(c)));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf ("    +" ^ String.make width '-' ^ "\n");
+  Buffer.add_string buf "     0.0   (per-node join frequency)                     1.0\n";
+  List.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf "     [%c] %s\n" s.label s.name))
+    series_list;
+  Buffer.contents buf

@@ -1,0 +1,12 @@
+(** Minimal ASCII line plots for the CDF panels of Figure 4. *)
+
+type series = {
+  label : char;  (** Plot glyph. *)
+  name : string;
+  points : (float * float) array;  (** (x, y) with y in [0, 1]. *)
+}
+
+val cdf_panel :
+  title:string -> ?width:int -> ?height:int -> series list -> string
+(** Render step-function CDFs over x in [0, 1]. Later series overdraw
+    earlier ones where they collide. *)

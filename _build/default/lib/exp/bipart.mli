@@ -1,0 +1,5 @@
+(** Experiment [bipart] — FairBipart on bipartite graphs (Theorem 13):
+    inequality factor <= 8, block-join rate per Lemma 12(i); contrasted
+    with Luby's factor on the same graphs. *)
+
+val run : Config.t -> unit

@@ -1,0 +1,5 @@
+(** Experiment [colormis] — ColorMIS on planar graphs (Theorem 17,
+    Corollary 18): O(k) inequality with the built-in <= 8-color planar
+    coloring, versus Luby. *)
+
+val run : Config.t -> unit

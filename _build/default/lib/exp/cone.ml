@@ -1,0 +1,36 @@
+module View = Mis_graph.View
+module Empirical = Mis_stats.Empirical
+
+let ks = [ 4; 8; 16; 32; 64 ]
+
+let algorithms =
+  [ Runners.luby; Runners.greedy_permutation; Runners.color_mis_greedy;
+    Runners.fair_bipart ]
+
+let light cfg = { cfg with Config.trials = min cfg.Config.trials 4000 }
+
+let run cfg =
+  let cfg = light cfg in
+  Printf.printf
+    "== cone: every algorithm is Omega(n)-unfair on C_k (Thm. 19) [%s]\n"
+    (Config.describe cfg);
+  let header =
+    "k (n=2k+1)" :: "bound k"
+    :: List.map (fun r -> r.Runners.name ^ " F") algorithms
+  in
+  let body =
+    List.map
+      (fun k ->
+        let view = View.full (Mis_workload.Special.cone ~k) in
+        string_of_int k :: string_of_int k
+        :: List.map
+             (fun runner ->
+               let e = Runners.measure cfg view runner in
+               Table.float_cell (Empirical.inequality_factor e))
+             algorithms)
+      ks
+  in
+  Table.print ~header body;
+  print_endline
+    "(Theorem 19: F >= k for every algorithm; 'inf' means some far-side\n\
+    \ node never joined within the trial budget, consistent with the bound.)\n"

@@ -1,0 +1,6 @@
+(** Experiment [cone] — the Sec. VIII lower bound (Theorem 19): on the cone
+    graph C_k every MIS algorithm has inequality factor Ω(n). We measure a
+    spread of algorithms and watch the factor scale at least linearly
+    with k. *)
+
+val run : Config.t -> unit

@@ -1,0 +1,9 @@
+(** Experiment [convergence] — methodology check: the empirical inequality
+    factor is a max/min ratio of estimated probabilities, so it is biased
+    {e upward} at small trial counts (extreme-value noise inflates the
+    max and deflates the min). This experiment tracks the estimate as the
+    trial count grows, justifying the paper's 10,000-run budget and
+    explaining why quick-mode factors in bench_output.txt sit slightly
+    above the paper's (and above this repo's own full-mode numbers). *)
+
+val run : Config.t -> unit

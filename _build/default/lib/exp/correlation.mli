@@ -1,0 +1,7 @@
+(** Experiment [correlation] — the Métivier et al. observation discussed in
+    paper Sec. II: on bounded-degree graphs, the correlation between two
+    nodes' join events decays quickly with their distance (and uncorrelated
+    joins are neither necessary nor sufficient for fairness — compare the
+    correlation columns with the factor columns of [table1]). *)
+
+val run : Config.t -> unit

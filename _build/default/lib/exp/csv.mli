@@ -1,0 +1,7 @@
+(** Minimal CSV output for experiment results. *)
+
+val to_string : header:string list -> string list list -> string
+(** RFC-4180-ish: fields containing commas, quotes or newlines are quoted
+    with doubled inner quotes. *)
+
+val write : path:string -> header:string list -> string list list -> unit

@@ -1,0 +1,6 @@
+(** Experiment [detids] — the Sec. II remark: a deterministic MIS algorithm
+    (Cole–Vishkin) becomes a randomized one when IDs are assigned uniformly
+    at random; its fairness is then non-trivial. Measured against
+    FairRooted on the same rooted trees. *)
+
+val run : Config.t -> unit

@@ -1,0 +1,75 @@
+module Empirical = Mis_stats.Empirical
+
+let glyphs = [| 'L'; 'F'; 'l'; 'f'; '+'; '*' |]
+
+let panel cfg ~title trees =
+  let row_of tree =
+    List.filter
+      (fun r -> r.Table1.tree.Workloads.name = tree.Workloads.name)
+      (Table1.rows cfg)
+  in
+  let rows = List.concat_map row_of trees in
+  let series =
+    List.mapi
+      (fun i r ->
+        { Ascii_plot.label = glyphs.(i mod Array.length glyphs);
+          name =
+            Printf.sprintf "%s / %s" r.Table1.tree.Workloads.name
+              r.Table1.algorithm;
+          points = Empirical.cdf r.Table1.measured })
+      rows
+  in
+  print_string (Ascii_plot.cdf_panel ~title series);
+  (* Decile table: the numeric counterpart of each curve. *)
+  let header =
+    "curve"
+    :: List.map (fun d -> Printf.sprintf "q%d" (d * 10)) [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+  in
+  let body =
+    List.map
+      (fun r ->
+        (Printf.sprintf "%s/%s" r.Table1.tree.Workloads.name r.Table1.algorithm)
+        :: List.map
+             (fun d ->
+               Printf.sprintf "%.3f"
+                 (Empirical.quantile r.Table1.measured (float_of_int d /. 10.)))
+             [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ])
+      rows
+  in
+  Table.print ~header body;
+  print_newline ()
+
+(* With FAIRMIS_OUT=<dir>, also dump every CDF curve as a CSV file. *)
+let export_csv cfg dir =
+  List.iter
+    (fun r ->
+      let name =
+        Printf.sprintf "fig4_%s_%s.csv" r.Table1.tree.Workloads.name
+          (String.map
+             (fun c -> if c = '\'' || c = ' ' then '_' else c)
+             r.Table1.algorithm)
+      in
+      let rows =
+        Array.to_list (Empirical.cdf r.Table1.measured)
+        |> List.map (fun (x, y) ->
+               [ Printf.sprintf "%.6f" x; Printf.sprintf "%.6f" y ])
+      in
+      Csv.write ~path:(Filename.concat dir name)
+        ~header:[ "join_frequency"; "cdf" ] rows)
+    (Table1.rows cfg);
+  Printf.printf "(CDF CSVs written to %s)\n\n" dir
+
+let run cfg =
+  Printf.printf "== fig4: CDFs of per-node join frequency (Figure 4) [%s]\n\n"
+    (Config.describe cfg);
+  panel cfg ~title:"Figure 4 (left): complete trees" (Workloads.complete_trees cfg);
+  panel cfg ~title:"Figure 4 (center): alternating trees"
+    (Workloads.alternating_trees cfg);
+  panel cfg ~title:"Figure 4 (right): real-world trees"
+    (Workloads.real_world_trees cfg);
+  match Sys.getenv_opt "FAIRMIS_OUT" with
+  | Some dir when Sys.file_exists dir && Sys.is_directory dir ->
+    export_csv cfg dir
+  | Some dir ->
+    Printf.eprintf "FAIRMIS_OUT=%s is not a directory; skipping CSV export\n" dir
+  | None -> ()

@@ -1,0 +1,6 @@
+(** Experiment [fig4] — reproduce Figure 4: cumulative distributions of the
+    per-node join frequency for Luby's and FairTree on (left) complete
+    trees, (center) alternating trees, (right) real-world trees. Rendered
+    as ASCII CDF panels plus a decile table per curve. *)
+
+val run : Config.t -> unit

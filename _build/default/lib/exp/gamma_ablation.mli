@@ -1,0 +1,5 @@
+(** Experiment [gamma] — the fairness/time trade-off noted at the end of
+    Sec. VI: FairBipart with γ = c·lg n for growing c drives the factor
+    toward 4 while the round count grows multiplicatively in c. *)
+
+val run : Config.t -> unit

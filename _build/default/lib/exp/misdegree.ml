@@ -1,0 +1,68 @@
+module View = Mis_graph.View
+module Graph = Mis_graph.Graph
+module Rand_plan = Fairmis.Rand_plan
+
+let light cfg = { cfg with Config.trials = min cfg.Config.trials 2000 }
+
+let algorithms =
+  [ ("Luby's", fun view ~seed -> Fairmis.Luby.run view (Rand_plan.make seed));
+    ( "Luby-A(degree)",
+      fun view ~seed -> Fairmis.Luby_degree.run view (Rand_plan.make seed) );
+    ( "FairTree",
+      fun view ~seed -> Fairmis.Fair_tree.run view (Rand_plan.make seed) ) ]
+
+(* Expected (average degree of MIS members, MIS size) over the trials. *)
+let mis_degree_stats cfg view run =
+  let g = View.graph view in
+  let deg_sum = ref 0. and size_sum = ref 0 in
+  for i = 0 to cfg.Config.trials - 1 do
+    let mis = run view ~seed:(cfg.Config.seed + i) in
+    let total = ref 0 and members = ref 0 in
+    Array.iteri
+      (fun u b ->
+        if b then begin
+          incr members;
+          total := !total + Graph.degree g u
+        end)
+      mis;
+    if !members > 0 then
+      deg_sum := !deg_sum +. (float_of_int !total /. float_of_int !members);
+    size_sum := !size_sum + !members
+  done;
+  let t = float_of_int cfg.Config.trials in
+  (!deg_sum /. t, float_of_int !size_sum /. t)
+
+let run cfg =
+  let cfg = light cfg in
+  Printf.printf
+    "== misdegree: expected average degree of MIS members (Sec. II) [%s]\n"
+    (Config.describe cfg);
+  let topologies =
+    [ ("5-ary-tree-d4", Mis_workload.Trees.complete_kary ~branch:5 ~depth:4);
+      ("alternating-B10", Mis_workload.Trees.alternating ~branch:10 ~depth:4);
+      ( "prefattach-500",
+        Mis_workload.Trees.preferential_attachment
+          (Mis_util.Splitmix.of_seed cfg.Config.seed) ~n:500 );
+      ("dartmouth-like", Mis_workload.Real_world.dartmouth_like ~seed:cfg.Config.seed) ]
+  in
+  let header =
+    [ "graph"; "avg degree" ]
+    @ List.concat_map (fun (name, _) -> [ name ^ " deg"; name ^ " size" ]) algorithms
+  in
+  let body =
+    List.map
+      (fun (name, g) ->
+        let view = View.full g in
+        let node_avg =
+          2. *. float_of_int (Graph.m g) /. float_of_int (Graph.n g)
+        in
+        [ name; Printf.sprintf "%.2f" node_avg ]
+        @ List.concat_map
+            (fun (_, run) ->
+              let deg, size = mis_degree_stats cfg view run in
+              [ Printf.sprintf "%.2f" deg; Printf.sprintf "%.1f" size ])
+            algorithms)
+      topologies
+  in
+  Table.print ~header body;
+  print_newline ()

@@ -1,0 +1,8 @@
+(** Experiment [misdegree] — the Harris et al. angle cited in paper
+    Sec. II: distributed symmetry breaking is interesting beyond time
+    complexity; here, the expected average degree of the MIS members per
+    algorithm. Degree-based Luby (Algorithm A) actively avoids high-degree
+    nodes, priority Luby less so, FairTree sits close to the unweighted
+    node average. *)
+
+val run : Config.t -> unit

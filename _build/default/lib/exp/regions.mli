@@ -1,0 +1,13 @@
+(** Experiment [regions] — the Sec. VII remark: ColorMIS "can be executed
+    in any graph without needing advance knowledge of the colorability,
+    yielding good inequality factors in regions of the network that can
+    efficiently be colored with a small number of colors."
+
+    Workload: an alternating tree (2-colorable, yet badly unfair under
+    Luby) glued by one edge to a 40-clique (needs 40 colors). We measure
+    join-probability spreads {e within} each region: ColorMIS with the
+    adaptive per-block color count keeps the tree region's factor bounded
+    by its local chromatic number, while Luby's factor there explodes with
+    the branching factor. *)
+
+val run : Config.t -> unit

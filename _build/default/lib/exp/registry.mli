@@ -1,0 +1,12 @@
+(** The experiment registry driving bench/main.exe and the CLI. *)
+
+type experiment = {
+  id : string;
+  title : string;
+  paper_ref : string;
+  run : Config.t -> unit;
+}
+
+val all : experiment list
+val find : string -> experiment option
+val ids : unit -> string list

@@ -1,0 +1,41 @@
+module View = Mis_graph.View
+module Rooted_tree = Mis_graph.Rooted
+module Empirical = Mis_stats.Empirical
+module Rand_plan = Fairmis.Rand_plan
+
+let topologies cfg =
+  let seed = cfg.Config.seed in
+  [ ("binary-depth8", Mis_workload.Trees.complete_kary ~branch:2 ~depth:8);
+    ("star-256", Mis_workload.Trees.star 256);
+    ("path-256", Mis_workload.Trees.path 256);
+    ( "random-1000",
+      Mis_workload.Trees.random_prufer (Mis_util.Splitmix.of_seed seed) ~n:1000 );
+    ("alternating-B10", Mis_workload.Trees.alternating ~branch:10 ~depth:4) ]
+
+let light cfg = { cfg with Config.trials = min cfg.Config.trials 3000 }
+
+let run cfg =
+  let cfg = light cfg in
+  Printf.printf "== rooted: FairRooted fairness (Thm. 3) [%s]\n"
+    (Config.describe cfg);
+  let header = [ "rooted tree"; "n"; "min P"; "max P"; "F"; "bound" ] in
+  let body =
+    List.map
+      (fun (name, g) ->
+        let t = Rooted_tree.of_tree g ~root:0 in
+        let view = View.full g in
+        let e =
+          Mis_stats.Montecarlo.estimate
+            ~check:(fun mis -> Fairmis.Mis.verify ~name:"fair_rooted" view mis)
+            (Config.montecarlo cfg) view
+            (fun ~seed -> Fairmis.Fair_rooted.run t (Rand_plan.make seed))
+        in
+        let s = Empirical.summarize e in
+        [ name; string_of_int (Mis_graph.Graph.n g);
+          Printf.sprintf "%.3f" s.Empirical.min_freq;
+          Printf.sprintf "%.3f" s.Empirical.max_freq;
+          Table.float_cell s.Empirical.factor; "<= 4" ])
+      (topologies cfg)
+  in
+  Table.print ~header body;
+  print_newline ()

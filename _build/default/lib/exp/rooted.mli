@@ -1,0 +1,4 @@
+(** Experiment [rooted] — FairRooted on rooted trees (Theorem 3): every
+    node joins with probability >= 1/4, inequality factor <= 4. *)
+
+val run : Config.t -> unit

@@ -1,0 +1,72 @@
+module View = Mis_graph.View
+module Rooted_tree = Mis_graph.Rooted
+module Rand_plan = Fairmis.Rand_plan
+
+let sizes = [ 64; 256; 1024 ]
+let repeats = 3
+
+let ceil_log2 n =
+  let rec loop k acc = if acc >= n then k else loop (k + 1) (2 * acc) in
+  loop 0 1
+
+let average f =
+  let total = ref 0 in
+  for i = 0 to repeats - 1 do
+    total := !total + f i
+  done;
+  float_of_int !total /. float_of_int repeats
+
+(* All four programs run on the message-passing simulator; the reported
+   numbers are the actual communication rounds until every node decided. *)
+let run cfg =
+  Printf.printf
+    "== rounds: distributed round complexity on the simulator (Lemmas 5 / 9 / 15) [%s]\n"
+    (Config.describe cfg);
+  let header =
+    [ "n"; "lg n"; "lg^2 n"; "Luby"; "FairRooted"; "FairTree"; "FairBipart";
+      "Luby msgs"; "FairTree msgs"; "FairBipart msgs" ]
+  in
+  let body =
+    List.map
+      (fun n ->
+        let g =
+          Mis_workload.Trees.random_prufer
+            (Mis_util.Splitmix.of_seed (cfg.Config.seed + n)) ~n
+        in
+        let view = View.full g in
+        let t = Rooted_tree.of_tree g ~root:0 in
+        let sim run =
+          let rounds =
+            average (fun i ->
+                let o = run (Rand_plan.make (cfg.Config.seed + i)) in
+                o.Mis_sim.Runtime.rounds)
+          and messages =
+            average (fun i ->
+                let o = run (Rand_plan.make (cfg.Config.seed + i)) in
+                o.Mis_sim.Runtime.messages)
+          in
+          (rounds, messages)
+        in
+        let luby, luby_msgs = sim (fun p -> Fairmis.Luby.run_distributed view p) in
+        let rooted, _ = sim (fun p -> Fairmis.Fair_rooted_distributed.run t p) in
+        let tree, tree_msgs = sim (fun p -> Fairmis.Fair_tree_distributed.run view p) in
+        let bipart, bipart_msgs =
+          sim (fun p -> Fairmis.Fair_bipart_distributed.run view p)
+        in
+        let lg = ceil_log2 n in
+        [ string_of_int n; string_of_int lg; string_of_int (lg * lg);
+          Printf.sprintf "%.1f" luby;
+          Printf.sprintf "%.1f" rooted;
+          Printf.sprintf "%.1f" tree;
+          Printf.sprintf "%.1f" bipart;
+          Printf.sprintf "%.0f" luby_msgs;
+          Printf.sprintf "%.0f" tree_msgs;
+          Printf.sprintf "%.0f" bipart_msgs ])
+      sizes
+  in
+  Table.print ~header body;
+  print_endline
+    "(expected shape: FairRooted is nearly flat (log* n + constant stages);\n\
+    \ Luby tracks lg n times a small constant; FairTree tracks lg n times\n\
+    \ the gamma constant (6 gamma + O(1), gamma = 4 lg n + 2); FairBipart\n\
+    \ tracks lg^2 n (gamma^2 superround structure, gamma = 2 lg n).)\n"

@@ -1,0 +1,5 @@
+(** Experiment [rounds] — time complexity on the distributed simulator
+    (Lemmas 5, 9, 15): FairRooted O(log* n), Luby / FairTree O(log n),
+    FairBipart O(log^2 n) round scaling on growing random trees. *)
+
+val run : Config.t -> unit

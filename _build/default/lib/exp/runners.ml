@@ -1,0 +1,48 @@
+module View = Mis_graph.View
+module Rand_plan = Fairmis.Rand_plan
+
+type t = {
+  name : string;
+  run : Mis_graph.View.t -> seed:int -> bool array;
+}
+
+let luby =
+  { name = "Luby's";
+    run = (fun view ~seed -> Fairmis.Luby.run view (Rand_plan.make seed)) }
+
+let fair_tree =
+  { name = "FairTree";
+    run = (fun view ~seed -> Fairmis.Fair_tree.run view (Rand_plan.make seed)) }
+
+let fair_bipart =
+  { name = "FairBipart";
+    run = (fun view ~seed -> Fairmis.Fair_bipart.run view (Rand_plan.make seed)) }
+
+let greedy_permutation =
+  { name = "RandPermGreedy";
+    run =
+      (fun view ~seed ->
+        Fairmis.Centralized.greedy_random_permutation view
+          (Mis_util.Splitmix.of_seed seed)) }
+
+let color_mis_planar =
+  { name = "ColorMIS(planar)";
+    run =
+      (fun view ~seed ->
+        fst (Fairmis.Color_mis.run_planar view (Rand_plan.make seed))) }
+
+let color_mis_greedy =
+  { name = "ColorMIS(greedy)";
+    run =
+      (fun view ~seed ->
+        let plan = Rand_plan.make seed in
+        let coloring = Fairmis.Distributed_coloring.randomized_greedy view plan in
+        Fairmis.Color_mis.run view
+          ~coloring:coloring.Fairmis.Distributed_coloring.colors
+          ~k:coloring.Fairmis.Distributed_coloring.palette plan) }
+
+let measure cfg view runner =
+  Mis_stats.Montecarlo.estimate
+    ~check:(fun mis -> Fairmis.Mis.verify ~name:runner.name view mis)
+    (Config.montecarlo cfg) view
+    (fun ~seed -> runner.run view ~seed)

@@ -1,0 +1,21 @@
+(** Uniform "run once with a seed" adapters over the algorithms, plus the
+    shared measure-and-validate step used by every experiment. *)
+
+type t = {
+  name : string;
+  run : Mis_graph.View.t -> seed:int -> bool array;
+}
+
+val luby : t
+val fair_tree : t
+val fair_bipart : t
+val greedy_permutation : t
+val color_mis_planar : t
+val color_mis_greedy : t
+(** ColorMIS over the randomized (deg+1) greedy coloring — works on any
+    graph (the coloring is recomputed each run, as a distributed execution
+    would). *)
+
+val measure :
+  Config.t -> Mis_graph.View.t -> t -> Mis_stats.Empirical.t
+(** Monte Carlo with per-run MIS validation. *)

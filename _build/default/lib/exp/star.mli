@@ -1,0 +1,5 @@
+(** Experiment [star] — the introduction's motivating example: on a star
+    graph S_n, Luby's algorithm joins the hub with probability ~1/n, so its
+    inequality factor grows Θ(n), while FairTree stays constant. *)
+
+val run : Config.t -> unit

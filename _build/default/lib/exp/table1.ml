@@ -1,0 +1,57 @@
+module View = Mis_graph.View
+module Empirical = Mis_stats.Empirical
+
+type row = {
+  tree : Workloads.tree;
+  algorithm : string;
+  paper_factor : float option;
+  measured : Mis_stats.Empirical.t;
+}
+
+let cache : (string * string, Mis_stats.Empirical.t) Hashtbl.t = Hashtbl.create 32
+
+let measure cfg (tree : Workloads.tree) (runner : Runners.t) =
+  let key = (tree.Workloads.name, runner.Runners.name) in
+  match Hashtbl.find_opt cache key with
+  | Some e -> e
+  | None ->
+    let view = View.full (Lazy.force tree.Workloads.graph) in
+    let e = Runners.measure cfg view runner in
+    Hashtbl.add cache key e;
+    e
+
+let rows cfg =
+  List.concat_map
+    (fun tree ->
+      [ { tree; algorithm = Runners.luby.Runners.name;
+          paper_factor = tree.Workloads.paper_luby;
+          measured = measure cfg tree Runners.luby };
+        { tree; algorithm = Runners.fair_tree.Runners.name;
+          paper_factor = tree.Workloads.paper_fairtree;
+          measured = measure cfg tree Runners.fair_tree } ])
+    (Workloads.table1_trees cfg)
+
+let run cfg =
+  Printf.printf "== table1: inequality factors (Table I) [%s]\n"
+    (Config.describe cfg);
+  let header =
+    [ "tree"; "|V|"; "algorithm"; "paper F"; "measured F"; "min P"; "max P" ]
+  in
+  let body =
+    List.map
+      (fun r ->
+        let g = Lazy.force r.tree.Workloads.graph in
+        let s = Empirical.summarize r.measured in
+        [ r.tree.Workloads.name;
+          string_of_int (Mis_graph.Graph.n g);
+          r.algorithm;
+          (match r.paper_factor with
+          | Some f -> Table.float_cell f
+          | None -> "-");
+          Table.float_cell s.Empirical.factor;
+          Printf.sprintf "%.3f" s.Empirical.min_freq;
+          Printf.sprintf "%.3f" s.Empirical.max_freq ])
+      (rows cfg)
+  in
+  Table.print ~header body;
+  print_newline ()

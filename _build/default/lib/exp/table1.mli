@@ -1,0 +1,17 @@
+(** Experiment [table1] — reproduce Table I: inequality factors of Luby's
+    algorithm vs FairTree on the six evaluation trees, over the configured
+    number of runs (paper: 10,000). *)
+
+type row = {
+  tree : Workloads.tree;
+  algorithm : string;
+  paper_factor : float option;
+  measured : Mis_stats.Empirical.t;
+}
+
+val rows : Config.t -> row list
+(** Measured once per process and memoized (Figure 4 reuses the same
+    runs, as the paper's simulator did). *)
+
+val run : Config.t -> unit
+(** Print the paper-vs-measured table. *)

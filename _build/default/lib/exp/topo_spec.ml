@@ -1,0 +1,107 @@
+module Splitmix = Mis_util.Splitmix
+
+let names =
+  [ "binary:depth=10"; "kary:branch=3,depth=4"; "alternating:branch=10,depth=5";
+    "path:n=32"; "star:n=32"; "spider:legs=5,len=4"; "caterpillar:spine=8,legs=2";
+    "prufer:n=64,seed=1"; "prefattach:n=64,seed=1"; "grid:w=8,h=8";
+    "evencycle:n=16"; "hypercube:dim=6"; "completebipartite:left=4,right=6";
+    "doublestar:left=5,right=9"; "randombipartite:left=32,right=32,p=0.05,seed=1";
+    "trigrid:w=8,h=8"; "wheel:n=16"; "cycle:n=16"; "fan:n=16";
+    "outerplanar:n=32,seed=1"; "clique:n=16"; "cone:k=8"; "dartmouth:seed=1";
+    "nyc:seed=1"; "nyc-small:seed=1"; "file:path=graph.edges" ]
+
+let parse spec =
+  let name, args =
+    match String.index_opt spec ':' with
+    | None -> (spec, [])
+    | Some i ->
+      let name = String.sub spec 0 i in
+      let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+      let pairs =
+        String.split_on_char ',' rest
+        |> List.filter_map (fun kv ->
+               match String.index_opt kv '=' with
+               | None -> None
+               | Some j ->
+                 Some
+                   ( String.sub kv 0 j,
+                     String.sub kv (j + 1) (String.length kv - j - 1) ))
+      in
+      (name, pairs)
+  in
+  let int key default =
+    match List.assoc_opt key args with
+    | None -> default
+    | Some v -> (match int_of_string_opt v with Some i -> i | None -> default)
+  in
+  let flt key default =
+    match List.assoc_opt key args with
+    | None -> default
+    | Some v -> (
+      match float_of_string_opt v with Some f -> f | None -> default)
+  in
+  let rng () = Splitmix.of_seed (int "seed" 1) in
+  match name with
+  | "binary" ->
+    Ok (Mis_workload.Trees.complete_kary ~branch:2 ~depth:(int "depth" 10))
+  | "kary" ->
+    Ok
+      (Mis_workload.Trees.complete_kary ~branch:(int "branch" 3)
+         ~depth:(int "depth" 4))
+  | "alternating" ->
+    Ok
+      (Mis_workload.Trees.alternating ~branch:(int "branch" 10)
+         ~depth:(int "depth" 5))
+  | "path" -> Ok (Mis_workload.Trees.path (int "n" 32))
+  | "star" -> Ok (Mis_workload.Trees.star (int "n" 32))
+  | "spider" ->
+    Ok (Mis_workload.Trees.spider ~legs:(int "legs" 5) ~leg_length:(int "len" 4))
+  | "caterpillar" ->
+    Ok
+      (Mis_workload.Trees.caterpillar ~spine:(int "spine" 8)
+         ~legs_per_node:(int "legs" 2))
+  | "prufer" -> Ok (Mis_workload.Trees.random_prufer (rng ()) ~n:(int "n" 64))
+  | "prefattach" ->
+    Ok (Mis_workload.Trees.preferential_attachment (rng ()) ~n:(int "n" 64))
+  | "grid" ->
+    Ok (Mis_workload.Bipartite.grid ~width:(int "w" 8) ~height:(int "h" 8))
+  | "evencycle" -> Ok (Mis_workload.Bipartite.even_cycle (int "n" 16))
+  | "hypercube" -> Ok (Mis_workload.Bipartite.hypercube ~dim:(int "dim" 6))
+  | "completebipartite" ->
+    Ok
+      (Mis_workload.Bipartite.complete_bipartite ~left:(int "left" 4)
+         ~right:(int "right" 6))
+  | "doublestar" ->
+    Ok
+      (Mis_workload.Bipartite.double_star ~left_leaves:(int "left" 5)
+         ~right_leaves:(int "right" 9))
+  | "randombipartite" ->
+    Ok
+      (Mis_workload.Bipartite.random_connected (rng ()) ~left:(int "left" 32)
+         ~right:(int "right" 32) ~p:(flt "p" 0.05))
+  | "trigrid" ->
+    Ok
+      (Mis_workload.Planar.triangular_grid ~width:(int "w" 8)
+         ~height:(int "h" 8))
+  | "wheel" -> Ok (Mis_workload.Planar.wheel (int "n" 16))
+  | "cycle" -> Ok (Mis_workload.Planar.cycle (int "n" 16))
+  | "fan" -> Ok (Mis_workload.Planar.fan_triangulation (int "n" 16))
+  | "outerplanar" ->
+    Ok (Mis_workload.Planar.random_outerplanar (rng ()) ~n:(int "n" 32))
+  | "clique" -> Ok (Mis_workload.Special.clique (int "n" 16))
+  | "cone" -> Ok (Mis_workload.Special.cone ~k:(int "k" 8))
+  | "file" -> (
+    match List.assoc_opt "path" args with
+    | None -> Error "file topology needs path=..., e.g. file:path=g.edges"
+    | Some path -> Mis_graph.Io.read_edge_list ~path)
+  | "dartmouth" -> Ok (Mis_workload.Real_world.dartmouth_like ~seed:(int "seed" 1))
+  | "nyc" -> Ok (Mis_workload.Real_world.nyc_like ~seed:(int "seed" 1))
+  | "nyc-small" ->
+    Ok (Mis_workload.Real_world.nyc_like_small ~seed:(int "seed" 1))
+  | other -> Error (Printf.sprintf "unknown topology %S" other)
+
+let parse spec =
+  match parse spec with
+  | exception Invalid_argument msg -> Error msg
+  | exception Failure msg -> Error msg
+  | result -> result

@@ -1,0 +1,8 @@
+(** Experiment [variants] — which "Luby's algorithm"? The evaluation
+    compares the two classic formulations: the random-priority variant
+    (this repository's baseline, {!Fairmis.Luby}) and the original
+    degree-probability marking variant ({!Fairmis.Luby_degree}).
+    Both are unfair on irregular trees; the degree-based marking is even
+    harsher on hubs. *)
+
+val run : Config.t -> unit

@@ -1,0 +1,62 @@
+type tree = {
+  name : string;
+  description : string;
+  graph : Mis_graph.Graph.t Lazy.t;
+  paper_luby : float option;
+  paper_fairtree : float option;
+}
+
+let binary =
+  { name = "binary-tree";
+    description = "complete binary tree, depth 10 (n=2047)";
+    graph = lazy (Mis_workload.Trees.complete_kary ~branch:2 ~depth:10);
+    paper_luby = Some 3.07; paper_fairtree = Some 2.22 }
+
+let five_ary =
+  { name = "5-ary-tree";
+    description = "complete 5-ary tree, depth 5 (n=3906)";
+    graph = lazy (Mis_workload.Trees.complete_kary ~branch:5 ~depth:5);
+    paper_luby = Some 6.42; paper_fairtree = Some 3.09 }
+
+let alt10 =
+  { name = "alternating-B10";
+    description = "alternating tree, B=10, depth 5 (n=1221)";
+    graph = lazy (Mis_workload.Trees.alternating ~branch:10 ~depth:5);
+    paper_luby = Some 11.92; paper_fairtree = Some 3.15 }
+
+let alt30 =
+  { name = "alternating-B30";
+    description = "alternating tree, B=30, depth 3 (n=961)";
+    graph = lazy (Mis_workload.Trees.alternating ~branch:30 ~depth:3);
+    paper_luby = Some 36.59; paper_fairtree = Some 3.09 }
+
+let dartmouth cfg =
+  { name = "dartmouth-like";
+    description = "synthetic campus WAP tree (n=178)";
+    graph = lazy (Mis_workload.Real_world.dartmouth_like ~seed:cfg.Config.seed);
+    paper_luby = Some 22.75; paper_fairtree = Some 3.07 }
+
+let nyc cfg =
+  match cfg.Config.nyc with
+  | Config.Nyc_skip -> None
+  | Config.Nyc_full ->
+    Some
+      { name = "nyc-like";
+        description = "synthetic city WAP tree (n=17834)";
+        graph = lazy (Mis_workload.Real_world.nyc_like ~seed:cfg.Config.seed);
+        paper_luby = Some 168.49; paper_fairtree = Some 3.25 }
+  | Config.Nyc_small ->
+    Some
+      { name = "nyc-like-small";
+        description = "synthetic city WAP tree, reduced (n=2048)";
+        graph = lazy (Mis_workload.Real_world.nyc_like_small ~seed:cfg.Config.seed);
+        paper_luby = Some 168.49; paper_fairtree = Some 3.25 }
+
+let complete_trees _cfg = [ binary; five_ary ]
+let alternating_trees _cfg = [ alt10; alt30 ]
+
+let real_world_trees cfg =
+  dartmouth cfg :: (match nyc cfg with Some t -> [ t ] | None -> [])
+
+let table1_trees cfg =
+  complete_trees cfg @ alternating_trees cfg @ real_world_trees cfg

@@ -1,0 +1,18 @@
+(** The named topologies of the evaluation, constructed once and shared
+    across experiments. *)
+
+type tree = {
+  name : string;
+  description : string;
+  graph : Mis_graph.Graph.t Lazy.t;
+  paper_luby : float option;  (** Table I inequality factor for Luby's. *)
+  paper_fairtree : float option;  (** Table I inequality factor for FairTree. *)
+}
+
+val table1_trees : Config.t -> tree list
+(** The six Table I rows: binary, 5-ary, alternating B=10 / B=30,
+    Dartmouth-like, NYC-like (full/small/skipped per config). *)
+
+val complete_trees : Config.t -> tree list
+val alternating_trees : Config.t -> tree list
+val real_world_trees : Config.t -> tree list

@@ -1,0 +1,1 @@
+lib/graph/mst.ml: Array Float List Mis_util

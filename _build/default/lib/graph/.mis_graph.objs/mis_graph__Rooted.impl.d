@@ -1,0 +1,1 @@
+lib/graph/rooted.ml: Array Graph Mis_util Traverse View

@@ -1,0 +1,1 @@
+lib/graph/view.mli: Graph

@@ -1,0 +1,30 @@
+let is_independent_set view in_set =
+  let ok = ref true in
+  View.iter_active view (fun u ->
+      if in_set.(u) then
+        View.iter_adj view u (fun v -> if in_set.(v) then ok := false));
+  !ok
+
+let is_maximal_independent view in_set =
+  is_independent_set view in_set
+  &&
+  let ok = ref true in
+  View.iter_active view (fun u ->
+      if not in_set.(u) then
+        if not (View.exists_adj view u (fun v -> in_set.(v))) then ok := false);
+  !ok
+
+let is_proper_coloring view color =
+  let ok = ref true in
+  View.iter_active view (fun u ->
+      if color.(u) < 0 then ok := false
+      else
+        View.iter_adj view u (fun v -> if color.(v) = color.(u) then ok := false));
+  !ok
+
+let count_colors color =
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun c -> if c >= 0 && not (Hashtbl.mem seen c) then Hashtbl.add seen c ())
+    color;
+  Hashtbl.length seen

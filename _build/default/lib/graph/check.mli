@@ -1,0 +1,17 @@
+(** Correctness oracles used by tests and by the experiment harness after
+    every single simulated run (the paper requires independence and
+    maximality to hold always, not just with high probability). *)
+
+val is_independent_set : View.t -> bool array -> bool
+(** No two active members joined across a usable edge. Inactive nodes'
+    membership bits are ignored. *)
+
+val is_maximal_independent : View.t -> bool array -> bool
+(** Independent, and every active non-member has an active member neighbor. *)
+
+val is_proper_coloring : View.t -> int array -> bool
+(** Every active node has a color [>= 0] differing from all active
+    neighbors' colors. *)
+
+val count_colors : int array -> int
+(** Number of distinct non-negative colors. *)

@@ -1,0 +1,55 @@
+type point = { x : float; y : float }
+
+let dist a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let bounding_box points =
+  if Array.length points = 0 then invalid_arg "Geometry.bounding_box: empty";
+  let lo = ref points.(0) and hi = ref points.(0) in
+  Array.iter
+    (fun p ->
+      lo := { x = Float.min !lo.x p.x; y = Float.min !lo.y p.y };
+      hi := { x = Float.max !hi.x p.x; y = Float.max !hi.y p.y })
+    points;
+  (!lo, !hi)
+
+let threshold_edges points ~radius =
+  if radius <= 0. then invalid_arg "Geometry.threshold_edges: radius";
+  let n = Array.length points in
+  if n = 0 then [||]
+  else begin
+    let lo, _ = bounding_box points in
+    let cell p =
+      ( int_of_float ((p.x -. lo.x) /. radius),
+        int_of_float ((p.y -. lo.y) /. radius) )
+    in
+    let grid : (int * int, int list ref) Hashtbl.t = Hashtbl.create (2 * n) in
+    Array.iteri
+      (fun i p ->
+        let key = cell p in
+        match Hashtbl.find_opt grid key with
+        | Some bucket -> bucket := i :: !bucket
+        | None -> Hashtbl.add grid key (ref [ i ]))
+      points;
+    let acc = ref [] in
+    Array.iteri
+      (fun i p ->
+        let cx, cy = cell p in
+        for dx = -1 to 1 do
+          for dy = -1 to 1 do
+            match Hashtbl.find_opt grid (cx + dx, cy + dy) with
+            | None -> ()
+            | Some bucket ->
+              List.iter
+                (fun j ->
+                  if j > i then begin
+                    let d = dist p points.(j) in
+                    if d <= radius then acc := (d, i, j) :: !acc
+                  end)
+                !bucket
+          done
+        done)
+      points;
+    Array.of_list !acc
+  end

@@ -1,0 +1,18 @@
+(** Planar Euclidean geometry with a spatial hash grid.
+
+    Supports the paper's real-world topology pipeline: wireless access
+    points are positioned in the plane, edges connect points within a
+    maximum physical distance, and the tree is a minimum spanning tree of
+    that threshold graph (Sec. IX). *)
+
+type point = { x : float; y : float }
+
+val dist : point -> point -> float
+
+val threshold_edges : point array -> radius:float -> (float * int * int) array
+(** All pairs at Euclidean distance [<= radius], weighted by distance.
+    Uses a uniform grid of cell size [radius], so the cost is proportional
+    to the output plus the number of points. *)
+
+val bounding_box : point array -> point * point
+(** [(lower_left, upper_right)]; raises on the empty array. *)

@@ -1,0 +1,94 @@
+type t = {
+  n : int;
+  off : int array;        (* length n+1: CSR row offsets *)
+  adj : int array;        (* length 2m: neighbor of each arc *)
+  adj_edge : int array;   (* length 2m: undirected edge id of each arc *)
+  edge_u : int array;     (* length m: smaller endpoint *)
+  edge_v : int array;     (* length m: larger endpoint *)
+}
+
+let n t = t.n
+let m t = Array.length t.edge_u
+
+let check_edges ~n edges =
+  let seen = Hashtbl.create (Array.length edges * 2) in
+  Array.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.of_edges: endpoint out of range";
+      if u = v then invalid_arg "Graph.of_edges: self-loop";
+      let key = (min u v, max u v) in
+      if Hashtbl.mem seen key then invalid_arg "Graph.of_edges: duplicate edge";
+      Hashtbl.add seen key ())
+    edges
+
+let of_edge_array ~n edges =
+  check_edges ~n edges;
+  let m = Array.length edges in
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    off.(i + 1) <- off.(i) + deg.(i)
+  done;
+  let cursor = Array.sub off 0 n in
+  let adj = Array.make (2 * m) 0 and adj_edge = Array.make (2 * m) 0 in
+  let edge_u = Array.make m 0 and edge_v = Array.make m 0 in
+  Array.iteri
+    (fun e (u, v) ->
+      edge_u.(e) <- min u v;
+      edge_v.(e) <- max u v;
+      adj.(cursor.(u)) <- v;
+      adj_edge.(cursor.(u)) <- e;
+      cursor.(u) <- cursor.(u) + 1;
+      adj.(cursor.(v)) <- u;
+      adj_edge.(cursor.(v)) <- e;
+      cursor.(v) <- cursor.(v) + 1)
+    edges;
+  { n; off; adj; adj_edge; edge_u; edge_v }
+
+let of_edges ~n edges = of_edge_array ~n (Array.of_list edges)
+
+let degree t u = t.off.(u + 1) - t.off.(u)
+
+let max_degree t =
+  let best = ref 0 in
+  for u = 0 to t.n - 1 do
+    if degree t u > !best then best := degree t u
+  done;
+  !best
+
+let edge_endpoints t e = (t.edge_u.(e), t.edge_v.(e))
+
+let edges t = Array.init (m t) (fun e -> (t.edge_u.(e), t.edge_v.(e)))
+
+let iter_adj t u f =
+  for i = t.off.(u) to t.off.(u + 1) - 1 do
+    f t.adj.(i)
+  done
+
+let iter_adj_e t u f =
+  for i = t.off.(u) to t.off.(u + 1) - 1 do
+    f t.adj.(i) t.adj_edge.(i)
+  done
+
+let fold_adj t u f init =
+  let acc = ref init in
+  iter_adj t u (fun v -> acc := f !acc v);
+  !acc
+
+let mem_edge t u v =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then false
+  else begin
+    (* Scan the smaller adjacency list. *)
+    let a, b = if degree t u <= degree t v then (u, v) else (v, u) in
+    let found = ref false in
+    iter_adj t a (fun w -> if w = b then found := true);
+    !found
+  end
+
+let neighbors t u = Array.sub t.adj t.off.(u) (degree t u)

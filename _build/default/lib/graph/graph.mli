@@ -1,0 +1,45 @@
+(** Immutable undirected graphs in compressed sparse row (CSR) form.
+
+    Nodes are the integers [0 .. n-1]. Every undirected edge has an id in
+    [0 .. m-1]; each of its two directed arcs carries that id, which lets
+    algorithms mask edges in O(1) (see {!View}). Self-loops and parallel
+    edges are rejected at construction. *)
+
+type t
+
+val of_edges : n:int -> (int * int) list -> t
+(** Build a graph from an edge list.
+    @raise Invalid_argument on out-of-range endpoints, self-loops or
+    duplicate edges. *)
+
+val of_edge_array : n:int -> (int * int) array -> t
+
+val n : t -> int
+(** Number of nodes. *)
+
+val m : t -> int
+(** Number of undirected edges. *)
+
+val degree : t -> int -> int
+val max_degree : t -> int
+
+val edge_endpoints : t -> int -> int * int
+(** Endpoints [(u, v)] with [u < v] of the edge with the given id. *)
+
+val edges : t -> (int * int) array
+(** All edges, normalized to [u < v], indexed by edge id. The returned
+    array is fresh; mutating it does not affect the graph. *)
+
+val mem_edge : t -> int -> int -> bool
+
+val iter_adj : t -> int -> (int -> unit) -> unit
+(** [iter_adj g u f] calls [f v] for every neighbor [v] of [u]. *)
+
+val iter_adj_e : t -> int -> (int -> int -> unit) -> unit
+(** [iter_adj_e g u f] calls [f v e] for every neighbor [v] of [u], where
+    [e] is the id of the edge [{u, v}]. *)
+
+val fold_adj : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val neighbors : t -> int -> int array
+(** Fresh array of the neighbors of a node. *)

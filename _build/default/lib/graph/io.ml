@@ -1,0 +1,76 @@
+let to_edge_list g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "n %d\n" (Graph.n g));
+  Array.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v))
+    (Graph.edges g);
+  Buffer.contents buf
+
+let of_edge_list text =
+  let lines = String.split_on_char '\n' text in
+  let parse acc line_number line =
+    match acc with
+    | Error _ as e -> e
+    | Ok (n, edges) -> (
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then acc
+      else
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "n"; count ] -> (
+          match int_of_string_opt count with
+          | Some c when c >= 0 && n = None -> Ok (Some c, edges)
+          | Some _ -> Error (Printf.sprintf "line %d: bad or repeated header" line_number)
+          | None -> Error (Printf.sprintf "line %d: bad node count" line_number))
+        | [ a; b ] -> (
+          match (int_of_string_opt a, int_of_string_opt b) with
+          | Some u, Some v -> Ok (n, (u, v) :: edges)
+          | _ -> Error (Printf.sprintf "line %d: bad edge" line_number))
+        | _ -> Error (Printf.sprintf "line %d: expected 'u v'" line_number))
+  in
+  let parsed =
+    List.fold_left
+      (fun (i, acc) line -> (i + 1, parse acc i line))
+      (1, Ok (None, []))
+      lines
+    |> snd
+  in
+  match parsed with
+  | Error e -> Error e
+  | Ok (None, _) -> Error "missing 'n <count>' header"
+  | Ok (Some n, edges) -> (
+    match Graph.of_edges ~n (List.rev edges) with
+    | g -> Ok g
+    | exception Invalid_argument e -> Error e)
+
+let write_edge_list g ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_edge_list g))
+
+let read_edge_list ~path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_edge_list (In_channel.input_all ic))
+
+let to_dot ?highlight ?(name = "g") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  Buffer.add_string buf "  node [shape=circle];\n";
+  for u = 0 to Graph.n g - 1 do
+    let attrs =
+      match highlight with
+      | Some mask when u < Array.length mask && mask.(u) ->
+        " [style=filled, fillcolor=black, fontcolor=white]"
+      | Some _ | None -> ""
+    in
+    Buffer.add_string buf (Printf.sprintf "  %d%s;\n" u attrs)
+  done;
+  Array.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

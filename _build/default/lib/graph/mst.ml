@@ -1,0 +1,60 @@
+let kruskal ~n weighted_edges =
+  Array.sort
+    (fun (w1, _, _) (w2, _, _) -> Float.compare w1 w2)
+    weighted_edges;
+  let dsu = Mis_util.Dsu.create n in
+  let acc = ref [] in
+  Array.iter
+    (fun (_, u, v) -> if Mis_util.Dsu.union dsu u v then acc := (u, v) :: !acc)
+    weighted_edges;
+  List.rev !acc
+
+let prim ~n weighted_edges =
+  let adjacency = Array.make n [] in
+  Array.iter
+    (fun (w, u, v) ->
+      adjacency.(u) <- (w, v) :: adjacency.(u);
+      adjacency.(v) <- (w, u) :: adjacency.(v))
+    weighted_edges;
+  (* FIFO among equal weights: bias each pushed edge by an epsilon
+     proportional to its push sequence number. The bias (< 1e-4 overall)
+     only disambiguates ties for any real-world coordinate scale. *)
+  let seq = ref 0 in
+  let heap = Mis_util.Heap.create ~capacity:(2 * n) () in
+  let push w u v =
+    incr seq;
+    Mis_util.Heap.push heap ~priority:(w +. (1e-12 *. float_of_int !seq)) ((u * n) + v)
+  in
+  let visited = Array.make n false in
+  let edges = ref [] in
+  for start = 0 to n - 1 do
+    if not visited.(start) then begin
+      visited.(start) <- true;
+      List.iter (fun (w, v) -> push w start v) (List.rev adjacency.(start));
+      let continue = ref true in
+      while !continue do
+        if Mis_util.Heap.is_empty heap then continue := false
+        else begin
+          let _, code = Mis_util.Heap.pop_min heap in
+          let u = code / n and v = code mod n in
+          if not visited.(v) then begin
+            visited.(v) <- true;
+            edges := (u, v) :: !edges;
+            List.iter (fun (w, t) -> if not visited.(t) then push w v t)
+              (List.rev adjacency.(v))
+          end
+        end
+      done
+    end
+  done;
+  List.rev !edges
+
+let spanning_forest_weight ~n weighted_edges =
+  let copy = Array.copy weighted_edges in
+  Array.sort (fun (w1, _, _) (w2, _, _) -> Float.compare w1 w2) copy;
+  let dsu = Mis_util.Dsu.create n in
+  let total = ref 0. in
+  Array.iter
+    (fun (w, u, v) -> if Mis_util.Dsu.union dsu u v then total := !total +. w)
+    copy;
+  !total

@@ -1,0 +1,29 @@
+(** Rooted trees and forests, represented by parent pointers.
+
+    FairRooted (paper Sec. IV) operates in this model: every internal node
+    knows its parent; roots have parent [-1]. A rooted forest also arises
+    inside FairRooted stage 2, where covered nodes drop out and their
+    children become roots of residual subtrees. *)
+
+type t = { n : int; parent : int array }
+
+val of_parents : int array -> t
+(** Validates that parent pointers are in range, acyclic, and not
+    self-referential. Roots are entries equal to [-1]. *)
+
+val of_tree : Graph.t -> root:int -> t
+(** Root an unrooted tree at [root] by a BFS orientation.
+    @raise Invalid_argument if the graph is not a tree. *)
+
+val roots : t -> int list
+val depth : t -> int array
+val children : t -> int array array
+
+val to_graph : t -> Graph.t
+(** Forget the orientation: the underlying undirected forest. *)
+
+val restrict : t -> keep:bool array -> t
+(** Residual rooted forest on the kept nodes: a kept node whose parent is
+    dropped (or is a root) becomes a root; otherwise its parent pointer is
+    preserved. Dropped nodes get parent [-1] but should be ignored by the
+    caller (pair this with the same [keep] mask). *)

@@ -1,0 +1,1 @@
+lib/sim/node_ctx.ml: Array Mis_util

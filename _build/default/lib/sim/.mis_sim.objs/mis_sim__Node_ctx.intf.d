@@ -1,0 +1,1 @@
+lib/sim/node_ctx.mli: Mis_util

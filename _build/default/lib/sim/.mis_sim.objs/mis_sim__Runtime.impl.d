@@ -1,0 +1,1 @@
+lib/sim/runtime.ml: Array Hashtbl List Mis_graph Node_ctx Printf Program

@@ -1,0 +1,1 @@
+lib/sim/runtime.mli: Mis_graph Mis_util Program

@@ -1,0 +1,9 @@
+type t = {
+  index : int;
+  id : int;
+  n : int;
+  neighbor_ids : int array;
+  rng : Mis_util.Splitmix.t;
+}
+
+let degree t = Array.length t.neighbor_ids

@@ -1,0 +1,13 @@
+type 'm action =
+  | Broadcast of 'm
+  | Send of int * 'm
+
+type ('s, 'm) status =
+  | Continue of 's
+  | Output of bool
+
+type ('s, 'm) t = {
+  name : string;
+  init : Node_ctx.t -> 's * 'm action list;
+  receive : Node_ctx.t -> 's -> (int * 'm) list -> ('s, 'm) status * 'm action list;
+}

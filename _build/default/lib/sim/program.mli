@@ -1,0 +1,24 @@
+(** Distributed node programs: synchronous state machines exchanging
+    messages with their neighbors, exactly one communication round per
+    step. The runtime ({!Runtime}) drives one program instance per active
+    node of a graph view. *)
+
+type 'm action =
+  | Broadcast of 'm  (** Send to every neighbor. *)
+  | Send of int * 'm  (** [Send (neighbor_id, payload)]. *)
+
+type ('s, 'm) status =
+  | Continue of 's
+  | Output of bool
+      (** Terminal decision: [true] = "in MIS". The node halts; messages
+          addressed to it in later rounds are dropped. *)
+
+type ('s, 'm) t = {
+  name : string;
+  init : Node_ctx.t -> 's * 'm action list;
+      (** State and round-0 sends. *)
+  receive : Node_ctx.t -> 's -> (int * 'm) list -> ('s, 'm) status * 'm action list;
+      (** One round: the inbox holds [(sender_id, payload)] pairs for
+          messages sent in the previous round. Returning [Output] together
+          with actions performs the sends and then halts. *)
+}

@@ -1,0 +1,127 @@
+module View = Mis_graph.View
+
+type outcome = {
+  output : bool array;
+  decided : bool array;
+  rounds : int;
+  messages : int;
+  max_message_bits : int;
+}
+
+let ceil_log2 n =
+  let rec loop k acc = if acc >= n then k else loop (k + 1) (2 * acc) in
+  loop 0 1
+
+let run ?max_rounds ?size_bits ?ids ~rng_of view (program : ('s, 'm) Program.t) =
+  let n = View.n view in
+  let ids = match ids with Some a -> a | None -> Array.init n (fun i -> i) in
+  if Array.length ids <> n then invalid_arg "Runtime.run: ids length";
+  let max_rounds =
+    match max_rounds with
+    | Some r -> r
+    | None -> 64 + (64 * ceil_log2 (max n 2))
+  in
+  let active = View.active_nodes view in
+  let index_of_id = Hashtbl.create (2 * Array.length active) in
+  Array.iter
+    (fun u ->
+      if Hashtbl.mem index_of_id ids.(u) then
+        invalid_arg "Runtime.run: duplicate ids";
+      Hashtbl.add index_of_id ids.(u) u)
+    active;
+  let neighbor_indices =
+    Array.map
+      (fun u ->
+        let acc = ref [] in
+        View.iter_adj view u (fun v -> acc := v :: !acc);
+        Array.of_list (List.rev !acc))
+      active
+  in
+  (* slot.(u) = position of node u in [active], or -1. *)
+  let slot = Array.make n (-1) in
+  Array.iteri (fun s u -> slot.(u) <- s) active;
+  let ctx =
+    Array.mapi
+      (fun s u ->
+        { Node_ctx.index = u;
+          id = ids.(u);
+          n;
+          neighbor_ids = Array.map (fun v -> ids.(v)) neighbor_indices.(s);
+          rng = rng_of u })
+      active
+  in
+  let output = Array.make n false in
+  let decided = Array.make n false in
+  let states : 's option array = Array.make (Array.length active) None in
+  let inbox : (int * 'm) list array = Array.make (Array.length active) [] in
+  let next_inbox : (int * 'm) list array = Array.make (Array.length active) [] in
+  let messages = ref 0 in
+  let max_bits = ref 0 in
+  let record_size m =
+    match size_bits with
+    | None -> ()
+    | Some f ->
+      let b = f m in
+      if b > !max_bits then max_bits := b
+  in
+  let deliver_to ~sender_id v m =
+    let s = slot.(v) in
+    if s >= 0 && not decided.(v) then begin
+      next_inbox.(s) <- (sender_id, m) :: next_inbox.(s);
+      incr messages;
+      record_size m
+    end
+  in
+  let perform s actions =
+    let u = active.(s) in
+    let sender_id = ids.(u) in
+    List.iter
+      (fun action ->
+        match action with
+        | Program.Broadcast m ->
+          Array.iter (fun v -> deliver_to ~sender_id v m) neighbor_indices.(s)
+        | Program.Send (target_id, m) -> begin
+          match Hashtbl.find_opt index_of_id target_id with
+          | Some v when Array.exists (fun w -> w = v) neighbor_indices.(s) ->
+            deliver_to ~sender_id v m
+          | Some _ | None ->
+            invalid_arg
+              (Printf.sprintf "Runtime.run(%s): send to non-neighbor id %d"
+                 program.Program.name target_id)
+        end)
+      actions
+  in
+  let undecided = ref (Array.length active) in
+  Array.iteri
+    (fun s _ ->
+      let state, actions = program.Program.init ctx.(s) in
+      states.(s) <- Some state;
+      perform s actions)
+    active;
+  let rounds = ref 0 in
+  while !undecided > 0 && !rounds < max_rounds do
+    incr rounds;
+    Array.iteri
+      (fun s msgs ->
+        inbox.(s) <- msgs;
+        next_inbox.(s) <- [])
+      next_inbox;
+    Array.iteri
+      (fun s u ->
+        if not decided.(u) then begin
+          match states.(s) with
+          | None -> assert false
+          | Some state ->
+            let status, actions = program.Program.receive ctx.(s) state inbox.(s) in
+            perform s actions;
+            (match status with
+            | Program.Continue state' -> states.(s) <- Some state'
+            | Program.Output b ->
+              output.(u) <- b;
+              decided.(u) <- true;
+              decr undecided)
+        end)
+      active
+  done;
+  { output; decided; rounds = !rounds; messages = !messages;
+    max_message_bits = !max_bits }

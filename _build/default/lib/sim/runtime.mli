@@ -1,0 +1,36 @@
+(** Synchronous executor: the paper's discrete network simulator.
+
+    Runs one {!Program} instance per active node of a graph {!Mis_graph.View},
+    delivering each round's messages at the start of the next round, and
+    accounting rounds, message volume, and (optionally) the largest message
+    size so the [O(log n)]-bit CONGEST discipline of the model can be
+    asserted in tests. *)
+
+type outcome = {
+  output : bool array;
+      (** Per node index; meaningful only for nodes active in the view
+          that reached a decision. *)
+  decided : bool array;  (** Whether the node produced an [Output]. *)
+  rounds : int;  (** Communication rounds executed. *)
+  messages : int;  (** Total point-to-point messages delivered. *)
+  max_message_bits : int;  (** 0 unless [size_bits] was provided. *)
+}
+
+val run :
+  ?max_rounds:int ->
+  ?size_bits:('m -> int) ->
+  ?ids:int array ->
+  rng_of:(int -> Mis_util.Splitmix.t) ->
+  Mis_graph.View.t ->
+  ('s, 'm) Program.t ->
+  outcome
+(** [run ~rng_of view program] executes [program] on every active node.
+
+    [ids] maps node index to the unique identifier exposed to programs
+    (default: the index itself). [rng_of index] supplies each node's
+    private random stream. Execution stops when every active node has
+    decided, or after [max_rounds] (default [64 + 64 * ceil(log2 n)])
+    rounds, whichever comes first.
+
+    @raise Invalid_argument if [ids] contains duplicates among active
+    nodes, or if a program sends to an id that is not its neighbor. *)

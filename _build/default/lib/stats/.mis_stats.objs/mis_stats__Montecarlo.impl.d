@@ -1,0 +1,1 @@
+lib/stats/montecarlo.ml: Array Empirical Mis_graph Parallel

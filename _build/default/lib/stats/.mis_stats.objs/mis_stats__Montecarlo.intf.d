@@ -1,0 +1,1 @@
+lib/stats/montecarlo.mli: Empirical Mis_graph

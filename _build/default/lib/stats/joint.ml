@@ -1,0 +1,39 @@
+type t = {
+  pairs : (int * int) array;
+  both : int array;
+  first : int array;
+  second : int array;
+  mutable trials : int;
+}
+
+let create ~pairs =
+  let k = Array.length pairs in
+  { pairs; both = Array.make k 0; first = Array.make k 0;
+    second = Array.make k 0; trials = 0 }
+
+let record t outcome =
+  t.trials <- t.trials + 1;
+  Array.iteri
+    (fun i (u, v) ->
+      if outcome.(u) then t.first.(i) <- t.first.(i) + 1;
+      if outcome.(v) then t.second.(i) <- t.second.(i) + 1;
+      if outcome.(u) && outcome.(v) then t.both.(i) <- t.both.(i) + 1)
+    t.pairs
+
+let trials t = t.trials
+
+let freq count trials = float_of_int count /. float_of_int trials
+
+let marginals t i = (freq t.first.(i) t.trials, freq t.second.(i) t.trials)
+
+let joint_probability t i = freq t.both.(i) t.trials
+
+let correlation t i =
+  if t.trials = 0 then nan
+  else begin
+    let pu, pv = marginals t i in
+    let puv = joint_probability t i in
+    let var p = p *. (1. -. p) in
+    let denom = sqrt (var pu *. var pv) in
+    if denom <= 0. then nan else (puv -. (pu *. pv)) /. denom
+  end

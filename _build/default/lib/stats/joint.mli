@@ -1,0 +1,20 @@
+(** Joint statistics of pairs of join events, for the correlation study
+    (paper Sec. II discusses Métivier et al.'s result that join events
+    decorrelate with distance on bounded-degree graphs). *)
+
+type t
+
+val create : pairs:(int * int) array -> t
+val record : t -> bool array -> unit
+(** Accumulate one run's outcome. *)
+
+val trials : t -> int
+
+val correlation : t -> int -> float
+(** Pearson correlation coefficient of the join indicators of the [i]-th
+    pair; [nan] when either indicator is degenerate (variance 0). *)
+
+val joint_probability : t -> int -> float
+(** Empirical P(both join) for the [i]-th pair. *)
+
+val marginals : t -> int -> float * float

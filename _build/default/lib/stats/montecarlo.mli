@@ -1,0 +1,34 @@
+(** The Monte Carlo harness behind every number in the evaluation: run a
+    randomized MIS algorithm [trials] times with per-trial seeds, count
+    per-node joins, and hand the counts to {!Empirical}.
+
+    Trial [i] always uses seed [base_seed + i], independent of how trials
+    are striped over domains, so results are bit-reproducible at any
+    parallelism level. *)
+
+type config = {
+  trials : int;
+  base_seed : int;
+  domains : int option;  (** [None] = {!Parallel.default_domains}. *)
+}
+
+val default_config : config
+(** 10,000 trials (the paper's count), seed 1, default parallelism. *)
+
+val run :
+  ?check:(bool array -> unit) ->
+  config ->
+  n:int ->
+  (seed:int -> bool array) ->
+  int array
+(** Raw join counts per node. [check] (e.g. MIS validation) runs on every
+    single outcome — the paper requires correctness on all runs, so the
+    experiments keep it on. *)
+
+val estimate :
+  ?check:(bool array -> unit) ->
+  config ->
+  Mis_graph.View.t ->
+  (seed:int -> bool array) ->
+  Empirical.t
+(** [run] restricted to the view's active nodes. *)

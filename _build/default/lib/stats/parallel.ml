@@ -1,0 +1,29 @@
+let default_domains () =
+  max 1 (min 8 (Domain.recommended_domain_count () - 1))
+
+let run_stripe ~tasks ~stride ~offset ~init ~task =
+  let acc = init () in
+  let i = ref offset in
+  while !i < tasks do
+    task acc !i;
+    i := !i + stride
+  done;
+  acc
+
+let map_reduce ?domains ~tasks ~init ~task ~merge =
+  if tasks < 0 then invalid_arg "Parallel.map_reduce: tasks";
+  let domains = match domains with
+    | Some d -> if d < 1 then invalid_arg "Parallel.map_reduce: domains" else d
+    | None -> default_domains ()
+  in
+  let domains = min domains (max tasks 1) in
+  if domains = 1 then run_stripe ~tasks ~stride:1 ~offset:0 ~init ~task
+  else begin
+    let workers =
+      List.init (domains - 1) (fun d ->
+          Domain.spawn (fun () ->
+              run_stripe ~tasks ~stride:domains ~offset:(d + 1) ~init ~task))
+    in
+    let first = run_stripe ~tasks ~stride:domains ~offset:0 ~init ~task in
+    List.fold_left (fun acc w -> merge acc (Domain.join w)) first workers
+  end

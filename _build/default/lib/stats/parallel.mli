@@ -1,0 +1,20 @@
+(** Minimal multicore scatter/gather on OCaml 5 domains (no external
+    dependency): partition task indices over a fixed pool of domains,
+    accumulate per-domain, merge. Determinism is preserved as long as each
+    task derives its randomness from its own index, which is how the Monte
+    Carlo harness seeds runs. *)
+
+val default_domains : unit -> int
+(** [min 8 (recommended_domain_count - 1)], at least 1. *)
+
+val map_reduce :
+  ?domains:int ->
+  tasks:int ->
+  init:(unit -> 'acc) ->
+  task:('acc -> int -> unit) ->
+  merge:('acc -> 'acc -> 'acc) ->
+  'acc
+(** Runs [task acc i] for every [i] in [0 .. tasks-1], striped across the
+    pool; each domain gets a private [init ()] accumulator; the per-domain
+    accumulators are combined left-to-right (in domain order) with
+    [merge]. With [domains = 1] everything runs on the calling domain. *)

@@ -1,0 +1,45 @@
+type t = { words : int array; n : int }
+
+let bits_per_word = Sys.int_size (* 63 on 64-bit platforms *)
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { words = Array.make ((n + bits_per_word - 1) / bits_per_word + 1) 0; n }
+
+let length t = t.n
+
+let check t i = if i < 0 || i >= t.n then invalid_arg "Bitset: index out of bounds"
+
+let get t i =
+  check t i;
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let set t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let clear t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let assign t i b = if b then set t i else clear t i
+
+let reset t = Array.fill t.words 0 (Array.length t.words) 0
+
+let fill t =
+  for i = 0 to t.n - 1 do set t i done
+
+let popcount x =
+  let rec loop x acc = if x = 0 then acc else loop (x land (x - 1)) (acc + 1) in
+  loop x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if get t i then f i
+  done
+
+let copy t = { words = Array.copy t.words; n = t.n }

@@ -1,0 +1,26 @@
+(** Compact fixed-size bitsets over [0 .. n-1], packed into native ints.
+
+    Used as visited/active masks in the traversal and simulation hot loops,
+    where a [bool array] would waste 8x the cache footprint. *)
+
+type t
+
+val create : int -> t
+(** All bits initially clear. *)
+
+val length : t -> int
+val get : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val assign : t -> int -> bool -> unit
+val reset : t -> unit
+(** Clear every bit. *)
+
+val fill : t -> unit
+(** Set every bit. *)
+
+val cardinal : t -> int
+val iter : (int -> unit) -> t -> unit
+(** Iterate over the indices of set bits, in increasing order. *)
+
+val copy : t -> t

@@ -1,0 +1,25 @@
+(** Disjoint-set union (union–find) with union by rank and path compression.
+
+    Used for Kruskal's MST, connected-component bookkeeping, and the fast
+    engines of the partition-based MIS algorithms. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the set containing the element. *)
+
+val union : t -> int -> int -> bool
+(** [union t a b] merges the two sets; returns [false] if they were already
+    the same set. *)
+
+val same : t -> int -> int -> bool
+(** Whether two elements are in the same set. *)
+
+val count : t -> int
+(** Number of distinct sets. *)
+
+val size : t -> int -> int
+(** Size of the set containing the element. *)

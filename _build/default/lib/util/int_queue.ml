@@ -1,0 +1,37 @@
+type t = {
+  mutable buf : int array;
+  mutable head : int;
+  mutable len : int;
+}
+
+let create ?(capacity = 16) () =
+  let capacity = max capacity 1 in
+  { buf = Array.make capacity 0; head = 0; len = 0 }
+
+let is_empty t = t.len = 0
+let length t = t.len
+
+let grow t =
+  let cap = Array.length t.buf in
+  let buf = Array.make (2 * cap) 0 in
+  for i = 0 to t.len - 1 do
+    buf.(i) <- t.buf.((t.head + i) mod cap)
+  done;
+  t.buf <- buf;
+  t.head <- 0
+
+let push t x =
+  if t.len = Array.length t.buf then grow t;
+  t.buf.((t.head + t.len) mod Array.length t.buf) <- x;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then invalid_arg "Int_queue.pop: empty";
+  let x = t.buf.(t.head) in
+  t.head <- (t.head + 1) mod Array.length t.buf;
+  t.len <- t.len - 1;
+  x
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0

@@ -1,0 +1,1 @@
+lib/workload/bipartite.ml: Hashtbl List Mis_graph Mis_util

@@ -1,0 +1,1 @@
+lib/workload/bipartite.mli: Mis_graph Mis_util

@@ -1,0 +1,1 @@
+lib/workload/geo.mli: Mis_graph Mis_util

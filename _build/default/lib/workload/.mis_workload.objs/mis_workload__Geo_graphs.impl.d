@@ -1,0 +1,1 @@
+lib/workload/geo_graphs.ml: Array Float Mis_graph Mis_util

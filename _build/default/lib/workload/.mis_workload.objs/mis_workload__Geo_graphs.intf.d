@@ -1,0 +1,1 @@
+lib/workload/geo_graphs.mli: Mis_graph Mis_util

@@ -1,0 +1,1 @@
+lib/workload/planar.ml: List Mis_graph Mis_util

@@ -1,0 +1,1 @@
+lib/workload/planar.mli: Mis_graph Mis_util

@@ -1,0 +1,1 @@
+lib/workload/real_world.ml: Array Geo Int64 List Mis_graph Mis_util

@@ -1,0 +1,1 @@
+lib/workload/real_world.mli: Mis_graph Mis_util

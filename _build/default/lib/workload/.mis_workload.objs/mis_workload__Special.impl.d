@@ -1,0 +1,1 @@
+lib/workload/special.ml: Array Mis_graph

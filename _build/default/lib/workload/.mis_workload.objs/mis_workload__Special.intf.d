@@ -1,0 +1,1 @@
+lib/workload/special.mli: Mis_graph

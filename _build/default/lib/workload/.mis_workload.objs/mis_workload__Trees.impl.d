@@ -1,0 +1,1 @@
+lib/workload/trees.ml: Array List Mis_graph Mis_util

@@ -1,0 +1,1 @@
+lib/workload/trees.mli: Mis_graph Mis_util

@@ -1,0 +1,78 @@
+module Graph = Mis_graph.Graph
+module Splitmix = Mis_util.Splitmix
+
+let even_cycle n =
+  if n < 4 || n mod 2 <> 0 then invalid_arg "Bipartite.even_cycle";
+  Graph.of_edges ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let complete_bipartite ~left ~right =
+  if left < 1 || right < 1 then invalid_arg "Bipartite.complete_bipartite";
+  let edges = ref [] in
+  for i = 0 to left - 1 do
+    for j = 0 to right - 1 do
+      edges := (i, left + j) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:(left + right) !edges
+
+let grid ~width ~height =
+  if width < 1 || height < 1 then invalid_arg "Bipartite.grid";
+  let id r c = (r * width) + c in
+  let edges = ref [] in
+  for r = 0 to height - 1 do
+    for c = 0 to width - 1 do
+      if c + 1 < width then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < height then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:(width * height) !edges
+
+let hypercube ~dim =
+  if dim < 0 || dim > 20 then invalid_arg "Bipartite.hypercube";
+  let n = 1 lsl dim in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for b = 0 to dim - 1 do
+      let v = u lxor (1 lsl b) in
+      if v > u then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let double_star ~left_leaves ~right_leaves =
+  if left_leaves < 0 || right_leaves < 0 then invalid_arg "Bipartite.double_star";
+  let n = 2 + left_leaves + right_leaves in
+  let edges = ref [ (0, 1) ] in
+  for i = 0 to left_leaves - 1 do
+    edges := (0, 2 + i) :: !edges
+  done;
+  for i = 0 to right_leaves - 1 do
+    edges := (1, 2 + left_leaves + i) :: !edges
+  done;
+  Graph.of_edges ~n !edges
+
+let random_connected rng ~left ~right ~p =
+  if left < 1 || right < 1 then invalid_arg "Bipartite.random_connected";
+  if not (p >= 0. && p <= 1.) then invalid_arg "Bipartite.random_connected: p";
+  let n = left + right in
+  let present = Hashtbl.create 64 in
+  let edges = ref [] in
+  let add i j =
+    if not (Hashtbl.mem present (i, j)) then begin
+      Hashtbl.add present (i, j) ();
+      edges := (i, j) :: !edges
+    end
+  in
+  for i = 0 to left - 1 do
+    for j = left to n - 1 do
+      if Splitmix.float rng < p then add i j
+    done
+  done;
+  (* Stitch components together with random cross edges. *)
+  let dsu = Mis_util.Dsu.create n in
+  List.iter (fun (i, j) -> ignore (Mis_util.Dsu.union dsu i j : bool)) !edges;
+  while Mis_util.Dsu.count dsu > 1 do
+    let i = Splitmix.int rng left and j = left + Splitmix.int rng right in
+    if Mis_util.Dsu.union dsu i j then add i j
+  done;
+  Graph.of_edges ~n !edges

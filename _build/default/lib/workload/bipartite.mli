@@ -1,0 +1,24 @@
+(** Bipartite topologies for the FairBipart experiments (paper Sec. VI). *)
+
+val even_cycle : int -> Mis_graph.Graph.t
+(** Cycle on [n] nodes; [n] must be even and [>= 4]. *)
+
+val complete_bipartite : left:int -> right:int -> Mis_graph.Graph.t
+(** K_{left,right}: left side is nodes [0 .. left-1]. *)
+
+val grid : width:int -> height:int -> Mis_graph.Graph.t
+(** 4-connected grid (bipartite and planar). Node [(r, c)] is
+    [r * width + c]. *)
+
+val hypercube : dim:int -> Mis_graph.Graph.t
+(** [2^dim] nodes, edges between words at Hamming distance 1. *)
+
+val double_star : left_leaves:int -> right_leaves:int -> Mis_graph.Graph.t
+(** Two adjacent hubs (nodes 0 and 1) with pendant leaves — a tree with
+    sharply asymmetric degrees. *)
+
+val random_connected :
+  Mis_util.Splitmix.t -> left:int -> right:int -> p:float -> Mis_graph.Graph.t
+(** Random bipartite graph: each left-right pair is an edge with
+    probability [p]; extra uniformly random cross edges are then added to
+    merge components, so the result is connected (and still bipartite). *)

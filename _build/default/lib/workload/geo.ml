@@ -1,0 +1,94 @@
+module Splitmix = Mis_util.Splitmix
+module Geometry = Mis_graph.Geometry
+
+type params = {
+  clusters : int;
+  mean_sites_per_cluster : float;
+  sigma : float;
+  background : float;
+  site_mean : float;
+  site_big_prob : float;
+  site_big_mean : float;
+  snap : float;
+  width : float;
+  height : float;
+}
+
+let campus =
+  { clusters = 18; mean_sites_per_cluster = 14.; sigma = 14.; background = 0.08;
+    site_mean = 1.2; site_big_prob = 0.03; site_big_mean = 18.; snap = 1.;
+    width = 1000.; height = 700. }
+
+let city =
+  { clusters = 400; mean_sites_per_cluster = 18.; sigma = 45.; background = 0.10;
+    site_mean = 1.0; site_big_prob = 0.013; site_big_mean = 100.; snap = 2.;
+    width = 12000.; height = 9000. }
+
+let poisson rng ~mean =
+  if mean < 0. then invalid_arg "Geo.poisson";
+  let l = exp (-.mean) in
+  let rec loop k p =
+    let p = p *. Splitmix.float rng in
+    if p <= l then k else loop (k + 1) p
+  in
+  loop 0 1.
+
+let gaussian rng =
+  let u1 = 1. -. Splitmix.float rng (* in (0, 1] *) in
+  let u2 = Splitmix.float rng in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let sample rng params ~n =
+  if n < 0 then invalid_arg "Geo.sample";
+  let clamp v hi = Float.max 0. (Float.min hi v) in
+  let quantize v =
+    if params.snap <= 0. then v
+    else Float.round (v /. params.snap) *. params.snap
+  in
+  let finish (p : Geometry.point) =
+    { Geometry.x = quantize (clamp p.Geometry.x params.width);
+      y = quantize (clamp p.Geometry.y params.height) }
+  in
+  let uniform_point () =
+    { Geometry.x = Splitmix.float rng *. params.width;
+      y = Splitmix.float rng *. params.height }
+  in
+  let acc = ref [] and count = ref 0 in
+  (* Emit all APs of one site: co-located after snapping. *)
+  let push_site raw =
+    let site = finish raw in
+    let extra = poisson rng ~mean:params.site_mean in
+    let extra =
+      if Splitmix.float rng < params.site_big_prob then
+        extra + poisson rng ~mean:params.site_big_mean
+      else extra
+    in
+    let aps = 1 + extra in
+    let budget = min aps (n - !count) in
+    for _ = 1 to budget do
+      acc := site :: !acc;
+      incr count
+    done
+  in
+  let background_sites =
+    int_of_float (params.background *. float_of_int n) in
+  let i = ref 0 in
+  while !count < n && !i < background_sites do
+    push_site (uniform_point ());
+    incr i
+  done;
+  let parents = Array.init (max params.clusters 1) (fun _ -> uniform_point ()) in
+  let next_parent = ref 0 in
+  while !count < n do
+    let parent = parents.(!next_parent mod Array.length parents) in
+    incr next_parent;
+    let sites = 1 + poisson rng ~mean:params.mean_sites_per_cluster in
+    let s = ref 0 in
+    while !count < n && !s < sites do
+      push_site
+        { Geometry.x = parent.Geometry.x +. (params.sigma *. gaussian rng);
+          y = parent.Geometry.y +. (params.sigma *. gaussian rng) };
+      incr s
+    done
+  done;
+  Array.of_list !acc

@@ -1,0 +1,25 @@
+(** Geometric graphs (not just trees) built from point clouds: unit-disk
+    graphs, the classic wireless connectivity model. Used by the
+    mixed-density "regions" experiment for the paper's Sec. VII remark that
+    ColorMIS yields good inequality in regions of the network that can be
+    colored with few colors. *)
+
+val unit_disk : Mis_graph.Geometry.point array -> radius:float -> Mis_graph.Graph.t
+(** Edge between every pair of points at distance <= radius. *)
+
+type mixed = {
+  graph : Mis_graph.Graph.t;
+  dense : bool array;  (** Membership in the dense blob. *)
+}
+
+val mixed_density :
+  Mis_util.Splitmix.t ->
+  sparse:int ->
+  dense:int ->
+  radius:float ->
+  mixed
+(** A unit-disk graph over [sparse] points spread widely (pairwise mostly
+    beyond [radius]) plus [dense] points packed into one blob of diameter
+    ~[radius]. The sparse region has small degree (easy to color); the
+    dense blob is nearly a clique. A random sparse-region point is placed
+    near the blob so the graph is connected. *)

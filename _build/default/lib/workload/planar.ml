@@ -1,0 +1,53 @@
+module Graph = Mis_graph.Graph
+module Splitmix = Mis_util.Splitmix
+
+let cycle n =
+  if n < 3 then invalid_arg "Planar.cycle";
+  Graph.of_edges ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let wheel n =
+  if n < 4 then invalid_arg "Planar.wheel";
+  let rim = n - 1 in
+  let edges =
+    List.init rim (fun i -> (1 + i, 1 + ((i + 1) mod rim)))
+    @ List.init rim (fun i -> (0, 1 + i))
+  in
+  Graph.of_edges ~n edges
+
+let triangular_grid ~width ~height =
+  if width < 1 || height < 1 then invalid_arg "Planar.triangular_grid";
+  let id r c = (r * width) + c in
+  let edges = ref [] in
+  for r = 0 to height - 1 do
+    for c = 0 to width - 1 do
+      if c + 1 < width then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < height then edges := (id r c, id (r + 1) c) :: !edges;
+      if c + 1 < width && r + 1 < height then
+        edges := (id r c, id (r + 1) (c + 1)) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:(width * height) !edges
+
+let fan_triangulation n =
+  if n < 2 then invalid_arg "Planar.fan_triangulation";
+  let edges =
+    List.init (n - 1) (fun i -> (0, 1 + i))
+    @ List.init (n - 2) (fun i -> (1 + i, 2 + i))
+  in
+  Graph.of_edges ~n edges
+
+let random_outerplanar rng ~n =
+  if n < 3 then invalid_arg "Planar.random_outerplanar";
+  let edges = ref (List.init n (fun i -> (i, (i + 1) mod n))) in
+  (* Recursively add a chord splitting the region [lo..hi] (indices along
+     the outer cycle), with a coin deciding whether to keep splitting. *)
+  let rec split lo hi =
+    if hi - lo >= 3 && Splitmix.bool rng then begin
+      let mid = lo + 1 + Splitmix.int rng (hi - lo - 1) in
+      if mid - lo >= 2 then edges := (lo, mid) :: !edges;
+      split lo mid;
+      split mid hi
+    end
+  in
+  split 0 (n - 1);
+  Graph.of_edges ~n !edges

@@ -1,0 +1,20 @@
+(** Planar topologies for the ColorMIS experiments (paper Sec. VII,
+    Corollary 18: planar graphs have arboricity <= 3, hence a fair MIS in
+    O(log^2 n) rounds). *)
+
+val cycle : int -> Mis_graph.Graph.t
+(** Cycle on [n >= 3] nodes. *)
+
+val wheel : int -> Mis_graph.Graph.t
+(** [wheel n]: hub 0 joined to an [(n-1)]-cycle; [n >= 4]. *)
+
+val triangular_grid : width:int -> height:int -> Mis_graph.Graph.t
+(** Grid plus one diagonal per cell: planar, triangle-rich (not bipartite
+    when [width, height >= 2]). *)
+
+val fan_triangulation : int -> Mis_graph.Graph.t
+(** Maximal outerplanar graph: a path [1 .. n-1] fanned from apex 0. *)
+
+val random_outerplanar : Mis_util.Splitmix.t -> n:int -> Mis_graph.Graph.t
+(** Cycle plus random non-crossing chords (uniform recursive splitting):
+    outerplanar, arboricity <= 2. [n >= 3]. *)

@@ -1,0 +1,29 @@
+(** Real-world-style trees: the paper's Sec. IX pipeline applied to the
+    synthetic WAP point clouds of {!Geo}.
+
+    Pipeline (verbatim from the paper): impose a maximum physical distance
+    that may be represented by an edge, form the threshold graph, and take
+    a minimum spanning tree. We then restrict to the largest component and
+    prune random leaves down to the paper's exact node counts. *)
+
+val tree_of_points :
+  Mis_util.Splitmix.t ->
+  Mis_graph.Geometry.point array ->
+  radius:float ->
+  target:int ->
+  Mis_graph.Graph.t
+(** MST tree of the largest threshold-graph component, leaf-pruned to
+    exactly [target] nodes. The radius is grown geometrically (factor 1.3)
+    until the largest component reaches [target] nodes, mirroring the
+    paper's choice of "a maximum physical distance" that keeps the network
+    connected. *)
+
+val dartmouth_like : seed:int -> Mis_graph.Graph.t
+(** 178-node tree (paper's Dartmouth trace size) from a campus-like cloud
+    of 700 points. *)
+
+val nyc_like : seed:int -> Mis_graph.Graph.t
+(** 17,834-node tree (paper's NYC trace size) from a city-like cloud. *)
+
+val nyc_like_small : seed:int -> Mis_graph.Graph.t
+(** 2,048-node variant of the city tree for quick benchmarking runs. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Fairmis Mis_graph Mis_util Mis_workload QCheck QCheck_alcotest

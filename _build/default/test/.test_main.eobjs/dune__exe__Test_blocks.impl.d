@@ -1,0 +1,1 @@
+test/test_blocks.ml: Alcotest Array Fairmis Helpers Lazy Mis_graph Mis_sim Mis_util Mis_workload QCheck

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Fairmis Float Mis_graph Mis_sim Mis_stats Mis_util Mis_workload

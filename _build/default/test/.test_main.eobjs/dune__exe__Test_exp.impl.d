@@ -1,0 +1,1 @@
+test/test_exp.ml: Alcotest Fairmis List Mis_exp Mis_graph Mis_stats Mis_workload String

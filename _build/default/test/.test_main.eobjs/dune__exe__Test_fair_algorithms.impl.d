@@ -1,0 +1,1 @@
+test/test_fair_algorithms.ml: Alcotest Array Fairmis Helpers Mis_graph Mis_sim Mis_stats Mis_util QCheck

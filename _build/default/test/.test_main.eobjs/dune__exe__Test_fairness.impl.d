@@ -1,0 +1,1 @@
+test/test_fairness.ml: Alcotest Array Fairmis Helpers List Mis_graph Mis_stats Mis_util Mis_workload

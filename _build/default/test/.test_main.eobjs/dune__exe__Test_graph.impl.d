@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float Helpers List Mis_graph Mis_util QCheck

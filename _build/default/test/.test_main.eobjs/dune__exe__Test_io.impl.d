@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Filename Fun Helpers In_channel List Mis_exp Mis_graph QCheck String Sys

@@ -1,0 +1,1 @@
+test/test_mis_core.ml: Alcotest Array Fairmis Helpers Mis_graph Mis_sim Mis_util Mis_workload QCheck

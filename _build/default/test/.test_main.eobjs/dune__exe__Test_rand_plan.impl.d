@@ -1,0 +1,1 @@
+test/test_rand_plan.ml: Alcotest Fairmis Helpers Mis_util QCheck

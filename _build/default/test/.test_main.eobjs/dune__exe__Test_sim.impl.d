@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Helpers List Mis_graph Mis_sim Mis_util Mis_workload

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Atomic Fairmis Float Helpers Mis_graph Mis_stats

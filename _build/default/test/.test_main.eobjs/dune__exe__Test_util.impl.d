@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Hashtbl Helpers List Mis_util QCheck Queue

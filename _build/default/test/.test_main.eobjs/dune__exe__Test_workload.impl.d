@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Helpers List Mis_graph Mis_util Mis_workload QCheck

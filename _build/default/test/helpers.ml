@@ -1,0 +1,38 @@
+(* Shared helpers for the test suites. *)
+
+module Splitmix = Mis_util.Splitmix
+module Graph = Mis_graph.Graph
+module View = Mis_graph.View
+
+let qtest ?(count = 100) name arbitrary prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arbitrary prop)
+
+(* Deterministic random tree from a seed. *)
+let random_tree ~seed ~n =
+  Mis_workload.Trees.random_prufer (Splitmix.of_seed seed) ~n
+
+(* Erdős–Rényi random graph, possibly disconnected. *)
+let random_graph ~seed ~n ~p =
+  let rng = Splitmix.of_seed seed in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Splitmix.float rng < p then edges := (i, j) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let full g = View.full g
+
+let check_mis ~name view set =
+  if not (Fairmis.Mis.is_independent view set) then
+    Alcotest.failf "%s: independence violated" name;
+  if not (Fairmis.Mis.is_maximal view set) then
+    Alcotest.failf "%s: not maximal" name
+
+let bool_array = Alcotest.(array bool)
+let int_array = Alcotest.(array int)
+
+(* Small-ish positive sizes for property tests. *)
+let arb_size = QCheck.int_range 1 40
+let arb_seed = QCheck.int_range 0 10_000

@@ -1,0 +1,185 @@
+(* Tests for the experiment layer: configuration, table rendering, ASCII
+   plots, topology specs, and runner adapters. *)
+
+module Config = Mis_exp.Config
+module Table = Mis_exp.Table
+module Ascii_plot = Mis_exp.Ascii_plot
+module Topo_spec = Mis_exp.Topo_spec
+module Runners = Mis_exp.Runners
+module View = Mis_graph.View
+module Graph = Mis_graph.Graph
+
+let env pairs name = List.assoc_opt name pairs
+
+let test_config_defaults () =
+  let cfg = Config.load ~getenv:(env []) () in
+  Alcotest.(check int) "trials" 2000 cfg.Config.trials;
+  Alcotest.(check int) "seed" 1 cfg.Config.seed;
+  Alcotest.(check bool) "quick mode" false cfg.Config.full;
+  Alcotest.(check bool) "nyc small" true (cfg.Config.nyc = Config.Nyc_small)
+
+let test_config_full_mode () =
+  let cfg = Config.load ~getenv:(env [ ("FAIRMIS_FULL", "1") ]) () in
+  Alcotest.(check int) "paper trials" 10_000 cfg.Config.trials;
+  Alcotest.(check bool) "nyc full" true (cfg.Config.nyc = Config.Nyc_full)
+
+let test_config_overrides () =
+  let cfg =
+    Config.load
+      ~getenv:
+        (env
+           [ ("FAIRMIS_TRIALS", "123"); ("FAIRMIS_SEED", "9");
+             ("FAIRMIS_DOMAINS", "3"); ("FAIRMIS_NYC", "skip") ])
+      ()
+  in
+  Alcotest.(check int) "trials" 123 cfg.Config.trials;
+  Alcotest.(check int) "seed" 9 cfg.Config.seed;
+  Alcotest.(check bool) "domains" true (cfg.Config.domains = Some 3);
+  Alcotest.(check bool) "nyc skip" true (cfg.Config.nyc = Config.Nyc_skip)
+
+let test_config_garbage_ignored () =
+  let cfg =
+    Config.load ~getenv:(env [ ("FAIRMIS_TRIALS", "banana") ]) ()
+  in
+  Alcotest.(check int) "fallback" 2000 cfg.Config.trials
+
+let test_config_montecarlo () =
+  let cfg = Config.load ~getenv:(env [ ("FAIRMIS_TRIALS", "77") ]) () in
+  let mc = Config.montecarlo cfg in
+  Alcotest.(check int) "trials forwarded" 77 mc.Mis_stats.Montecarlo.trials
+
+(* Table *)
+
+let test_table_render () =
+  let s = Table.render ~header:[ "a"; "bb" ] [ [ "x"; "1" ]; [ "long"; "22" ] ] in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "rows" 4 (List.length lines);
+  (* All lines share the same width. *)
+  match lines with
+  | first :: rest ->
+    List.iter
+      (fun l -> Alcotest.(check int) "aligned" (String.length first) (String.length l))
+      rest
+  | [] -> Alcotest.fail "empty render"
+
+let test_table_float_cell () =
+  Alcotest.(check string) "finite" "3.14" (Table.float_cell 3.14159);
+  Alcotest.(check string) "inf" "inf" (Table.float_cell infinity);
+  Alcotest.(check string) "nan" "nan" (Table.float_cell nan)
+
+(* Ascii plot *)
+
+let test_ascii_plot () =
+  let series =
+    { Ascii_plot.label = 'X'; name = "test";
+      points = [| (0.0, 0.1); (0.5, 0.6); (1.0, 1.0) |] }
+  in
+  let out = Ascii_plot.cdf_panel ~title:"panel" [ series ] in
+  Alcotest.(check bool) "has title" true
+    (String.length out > 5 && String.sub out 0 5 = "panel");
+  Alcotest.(check bool) "uses glyph" true (String.contains out 'X');
+  Alcotest.(check bool) "mentions legend" true
+    (String.length out > 0
+    &&
+    let rec contains_sub i =
+      i + 4 <= String.length out
+      && (String.sub out i 4 = "test" || contains_sub (i + 1))
+    in
+    contains_sub 0)
+
+(* Topo specs *)
+
+let test_topo_spec_all_names_parse () =
+  List.iter
+    (fun spec ->
+      if spec = "nyc:seed=1" (* too slow for a unit test *)
+         || String.length spec >= 5 && String.sub spec 0 5 = "file:" (* needs a file *)
+      then ()
+      else
+        match Topo_spec.parse spec with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "%s failed: %s" spec e)
+    Topo_spec.names
+
+let test_topo_spec_params () =
+  (match Topo_spec.parse "star:n=33" with
+  | Ok g -> Alcotest.(check int) "star n" 33 (Graph.n g)
+  | Error e -> Alcotest.fail e);
+  (match Topo_spec.parse "grid:w=3,h=4" with
+  | Ok g -> Alcotest.(check int) "grid n" 12 (Graph.n g)
+  | Error e -> Alcotest.fail e);
+  match Topo_spec.parse "cone:k=5" with
+  | Ok g -> Alcotest.(check int) "cone n" 11 (Graph.n g)
+  | Error e -> Alcotest.fail e
+
+let test_topo_spec_unknown () =
+  Alcotest.(check bool) "unknown name" true
+    (match Topo_spec.parse "banana:n=2" with Error _ -> true | Ok _ -> false)
+
+let test_topo_spec_bad_params_fall_back () =
+  match Topo_spec.parse "star:n=banana" with
+  | Ok g -> Alcotest.(check int) "default n" 32 (Graph.n g)
+  | Error e -> Alcotest.fail e
+
+let test_topo_spec_invalid_params_reported () =
+  Alcotest.(check bool) "invalid params give Error" true
+    (match Topo_spec.parse "evencycle:n=7" with Error _ -> true | Ok _ -> false)
+
+(* Runners: every registered runner yields a valid MIS. *)
+
+let test_runners_valid () =
+  let g = Mis_workload.Planar.triangular_grid ~width:5 ~height:4 in
+  let view = View.full g in
+  List.iter
+    (fun runner ->
+      let mis = runner.Runners.run view ~seed:3 in
+      Fairmis.Mis.verify ~name:runner.Runners.name view mis)
+    [ Runners.luby; Runners.fair_tree; Runners.fair_bipart;
+      Runners.greedy_permutation; Runners.color_mis_planar;
+      Runners.color_mis_greedy ]
+
+(* Registry *)
+
+let test_registry () =
+  Alcotest.(check int) "15 experiments" 15 (List.length Mis_exp.Registry.all);
+  Alcotest.(check bool) "find table1" true (Mis_exp.Registry.find "table1" <> None);
+  Alcotest.(check bool) "unknown" true (Mis_exp.Registry.find "nope" = None);
+  let ids = Mis_exp.Registry.ids () in
+  Alcotest.(check bool) "unique ids" true
+    (List.length ids = List.length (List.sort_uniq compare ids))
+
+(* Workloads: Table I rows carry the paper's numbers. *)
+
+let test_workloads_paper_numbers () =
+  let cfg = Config.load ~getenv:(env [ ("FAIRMIS_NYC", "skip") ]) () in
+  let trees = Mis_exp.Workloads.table1_trees cfg in
+  Alcotest.(check int) "five rows without nyc" 5 (List.length trees);
+  let binary = List.hd trees in
+  Alcotest.(check bool) "paper factor recorded" true
+    (binary.Mis_exp.Workloads.paper_luby = Some 3.07)
+
+let suite =
+  [ ( "exp.config",
+      [ Alcotest.test_case "defaults" `Quick test_config_defaults;
+        Alcotest.test_case "full mode" `Quick test_config_full_mode;
+        Alcotest.test_case "overrides" `Quick test_config_overrides;
+        Alcotest.test_case "garbage ignored" `Quick test_config_garbage_ignored;
+        Alcotest.test_case "montecarlo forwarding" `Quick test_config_montecarlo ] );
+    ( "exp.render",
+      [ Alcotest.test_case "table" `Quick test_table_render;
+        Alcotest.test_case "float cell" `Quick test_table_float_cell;
+        Alcotest.test_case "ascii plot" `Quick test_ascii_plot ] );
+    ( "exp.topo_spec",
+      [ Alcotest.test_case "all names parse" `Slow test_topo_spec_all_names_parse;
+        Alcotest.test_case "params" `Quick test_topo_spec_params;
+        Alcotest.test_case "unknown" `Quick test_topo_spec_unknown;
+        Alcotest.test_case "bad params fall back" `Quick
+          test_topo_spec_bad_params_fall_back;
+        Alcotest.test_case "invalid params reported" `Quick
+          test_topo_spec_invalid_params_reported ] );
+    ( "exp.runners",
+      [ Alcotest.test_case "all runners valid" `Quick test_runners_valid ] );
+    ( "exp.registry",
+      [ Alcotest.test_case "registry" `Quick test_registry;
+        Alcotest.test_case "workloads carry paper numbers" `Quick
+          test_workloads_paper_numbers ] ) ]

@@ -1,0 +1,181 @@
+(* Tests for the synchronous message-passing simulator. *)
+
+module Graph = Mis_graph.Graph
+module View = Mis_graph.View
+module Program = Mis_sim.Program
+module Runtime = Mis_sim.Runtime
+module Node_ctx = Mis_sim.Node_ctx
+module Splitmix = Mis_util.Splitmix
+
+let rng_of u = Splitmix.stream 7L [ u ]
+let path n = Mis_workload.Trees.path n
+
+(* Every node outputs whether its id is even, after one idle round. *)
+let trivial_program : (unit, unit) Program.t =
+  { Program.name = "trivial";
+    init = (fun _ -> ((), []));
+    receive = (fun ctx () _ -> (Program.Output (ctx.Node_ctx.id mod 2 = 0), [])) }
+
+let test_trivial () =
+  let g = path 4 in
+  let outcome = Runtime.run ~rng_of (View.full g) trivial_program in
+  Alcotest.check Helpers.bool_array "even ids"
+    [| true; false; true; false |] outcome.Runtime.output;
+  Alcotest.(check int) "one round" 1 outcome.Runtime.rounds;
+  Alcotest.(check bool) "all decided" true
+    (Array.for_all (fun b -> b) outcome.Runtime.decided)
+
+(* Flood-max: after diameter rounds everyone knows the max id. *)
+type flood_state = { best : int; left : int }
+
+let flood_program rounds : (flood_state, int) Program.t =
+  { Program.name = "flood";
+    init =
+      (fun ctx -> ({ best = ctx.Node_ctx.id; left = rounds },
+                   [ Program.Broadcast ctx.Node_ctx.id ]));
+    receive =
+      (fun _ st inbox ->
+        let best = List.fold_left (fun acc (_, v) -> max acc v) st.best inbox in
+        if st.left <= 1 then (Program.Output (best = 9), [])
+        else
+          (Program.Continue { best; left = st.left - 1 },
+           [ Program.Broadcast best ])) }
+
+let test_flood_max () =
+  let g = path 10 in
+  let outcome = Runtime.run ~rng_of (View.full g) (flood_program 9) in
+  Alcotest.(check bool) "all found the max" true
+    (Array.for_all (fun b -> b) outcome.Runtime.output);
+  Alcotest.(check int) "rounds" 9 outcome.Runtime.rounds
+
+let test_flood_insufficient_rounds () =
+  let g = path 10 in
+  let outcome = Runtime.run ~rng_of (View.full g) (flood_program 3) in
+  (* Node 0 is 9 hops from node 9: it cannot have heard the max. *)
+  Alcotest.(check bool) "node 0 missed the max" false outcome.Runtime.output.(0);
+  Alcotest.(check bool) "node 8 heard it" true outcome.Runtime.output.(8)
+
+let test_message_count () =
+  let g = path 4 in
+  let outcome = Runtime.run ~rng_of (View.full g) (flood_program 2) in
+  (* Round 0 and round 1 sends: each is one broadcast per node = 2m point
+     to point messages = 6; total 12. *)
+  Alcotest.(check int) "messages" 12 outcome.Runtime.messages
+
+let test_message_size_accounting () =
+  let g = path 4 in
+  let outcome =
+    Runtime.run ~rng_of ~size_bits:(fun v -> if v > 1 then 62 else 1)
+      (View.full g) (flood_program 2)
+  in
+  Alcotest.(check int) "max bits" 62 outcome.Runtime.max_message_bits
+
+let test_custom_ids () =
+  let g = path 3 in
+  let outcome =
+    Runtime.run ~rng_of ~ids:[| 10; 11; 13 |] (View.full g) trivial_program
+  in
+  Alcotest.check Helpers.bool_array "ids respected" [| true; false; false |]
+    outcome.Runtime.output
+
+let test_duplicate_ids_rejected () =
+  let g = path 3 in
+  Alcotest.check_raises "duplicates" (Invalid_argument "Runtime.run: duplicate ids")
+    (fun () ->
+      ignore (Runtime.run ~rng_of ~ids:[| 1; 1; 2 |] (View.full g) trivial_program))
+
+let send_to_stranger : (unit, unit) Program.t =
+  { Program.name = "stranger";
+    init = (fun _ -> ((), []));
+    receive = (fun _ () _ -> (Program.Output true, [ Program.Send (99, ()) ])) }
+
+let test_send_to_non_neighbor_rejected () =
+  let g = path 3 in
+  Alcotest.(check bool) "raises" true
+    (match Runtime.run ~rng_of (View.full g) send_to_stranger with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* Unicast replies: node sends its id to its largest-id neighbor only. *)
+type uni_state = { got : int list; step : int }
+
+let unicast_program : (uni_state, int) Program.t =
+  { Program.name = "unicast";
+    init =
+      (fun ctx ->
+        let st = { got = []; step = 0 } in
+        let target = Array.fold_left max (-1) ctx.Node_ctx.neighbor_ids in
+        ((match target with
+         | -1 -> (st, [])
+         | t -> (st, [ Program.Send (t, ctx.Node_ctx.id) ]))
+        : uni_state * int Program.action list));
+    receive =
+      (fun _ st inbox ->
+        let got = List.map snd inbox @ st.got in
+        (Program.Output (List.length got > 0), [])) }
+
+let test_unicast () =
+  let g = path 3 in
+  let outcome = Runtime.run ~rng_of (View.full g) unicast_program in
+  (* 0 sends to 1, 1 sends to 2, 2 sends to 1: nodes 1, 2 receive. *)
+  Alcotest.check Helpers.bool_array "receivers" [| false; true; true |]
+    outcome.Runtime.output
+
+let test_masked_view () =
+  (* Nodes outside the view do not run. *)
+  let g = path 4 in
+  let v = View.induced g [| true; true; false; true |] in
+  let outcome = Runtime.run ~rng_of v (flood_program 3) in
+  Alcotest.(check bool) "inactive node undecided" false outcome.Runtime.decided.(2);
+  (* In the masked graph, max id visible from 0 is 1 (not 9/3). *)
+  Alcotest.(check bool) "component max only" false outcome.Runtime.output.(0)
+
+let test_max_rounds_cutoff () =
+  let forever : (unit, unit) Program.t =
+    { Program.name = "forever";
+      init = (fun _ -> ((), []));
+      receive = (fun _ () _ -> (Program.Continue (), [])) }
+  in
+  let g = path 3 in
+  let outcome = Runtime.run ~rng_of ~max_rounds:5 (View.full g) forever in
+  Alcotest.(check int) "cut off" 5 outcome.Runtime.rounds;
+  Alcotest.(check bool) "undecided" false outcome.Runtime.decided.(0)
+
+let test_halted_receive_nothing () =
+  (* A node that outputs stops receiving: its neighbor's later messages are
+     dropped, which we observe via message counts. *)
+  let early : (int, unit) Program.t =
+    { Program.name = "early";
+      init = (fun _ -> (0, []));
+      receive =
+        (fun ctx step _ ->
+          if ctx.Node_ctx.id = 0 then (Program.Output true, [])
+          else if step < 3 then (Program.Continue (step + 1), [ Program.Broadcast () ])
+          else (Program.Output false, [])) }
+  in
+  let g = path 2 in
+  let outcome = Runtime.run ~rng_of (View.full g) early in
+  (* Node 1 broadcasts in rounds 1..3, but node 0 halts after round 1, so
+     only the round-1 message (delivered round 2 to a halted node = dropped).
+     Total delivered: zero (round-0 has no sends). *)
+  Alcotest.(check int) "deliveries" 0 outcome.Runtime.messages
+
+let suite =
+  [ ( "sim.runtime",
+      [ Alcotest.test_case "trivial program" `Quick test_trivial;
+        Alcotest.test_case "flood max" `Quick test_flood_max;
+        Alcotest.test_case "flood with insufficient rounds" `Quick
+          test_flood_insufficient_rounds;
+        Alcotest.test_case "message count" `Quick test_message_count;
+        Alcotest.test_case "message size accounting" `Quick
+          test_message_size_accounting;
+        Alcotest.test_case "custom ids" `Quick test_custom_ids;
+        Alcotest.test_case "duplicate ids rejected" `Quick
+          test_duplicate_ids_rejected;
+        Alcotest.test_case "send to non-neighbor rejected" `Quick
+          test_send_to_non_neighbor_rejected;
+        Alcotest.test_case "unicast" `Quick test_unicast;
+        Alcotest.test_case "masked view" `Quick test_masked_view;
+        Alcotest.test_case "max rounds cutoff" `Quick test_max_rounds_cutoff;
+        Alcotest.test_case "halted nodes drop messages" `Quick
+          test_halted_receive_nothing ] ) ]
