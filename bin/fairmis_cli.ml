@@ -217,6 +217,48 @@ let measure_cmd =
   Cmd.v (Cmd.info "measure" ~doc)
     Term.(const run $ alg_arg $ spec_arg1 $ seed_arg $ trials $ domains $ csv)
 
+(* faults *)
+
+let faults_cmd =
+  let doc =
+    "Measure MIS validity, rounds and fairness of robustified Luby vs \
+     FairTree under message loss."
+  in
+  let n =
+    Arg.(value & opt int Mis_exp.Faults.default_params.Mis_exp.Faults.n
+        & info [ "n"; "nodes" ] ~doc:"Random-tree size.")
+  in
+  let trials =
+    Arg.(value & opt int Mis_exp.Faults.default_params.Mis_exp.Faults.trials
+        & info [ "trials" ] ~doc:"Runs per algorithm and drop rate.")
+  in
+  let rates =
+    Arg.(value
+        & opt (list float) Mis_exp.Faults.default_params.Mis_exp.Faults.rates
+        & info [ "rates" ] ~doc:"Comma-separated per-message drop rates.")
+  in
+  let repeats =
+    Arg.(value & opt int Mis_exp.Faults.default_params.Mis_exp.Faults.repeats
+        & info [ "repeats" ] ~doc:"Re-broadcast factor of the robust wrapper.")
+  in
+  let domains =
+    Arg.(value & opt (some int) None & info [ "domains" ] ~doc:"Parallel domains.")
+  in
+  let csv =
+    Arg.(value & opt (some string) None
+        & info [ "csv" ] ~doc:"Write the result rows to this CSV file.")
+  in
+  let run n trials rates repeats seed domains csv =
+    if n < 2 then or_die (Error "n must be >= 2");
+    if trials < 1 then or_die (Error "trials must be >= 1");
+    if List.exists (fun r -> r < 0. || r > 1.) rates then
+      or_die (Error "drop rates must be in [0, 1]");
+    Mis_exp.Faults.run_params
+      { Mis_exp.Faults.n; trials; rates; repeats; seed; domains; csv }
+  in
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(const run $ n $ trials $ rates $ repeats $ seed_arg $ domains $ csv)
+
 (* experiment *)
 
 let experiment_cmd =
@@ -238,4 +280,8 @@ let experiment_cmd =
 let () =
   let doc = "Fair Maximal Independent Sets — simulator and experiments" in
   let info = Cmd.info "fairmis_cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; topo_cmd; run_cmd; measure_cmd; experiment_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; topo_cmd; run_cmd; measure_cmd; faults_cmd;
+            experiment_cmd ]))

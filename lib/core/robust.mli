@@ -1,0 +1,67 @@
+(** Fault-tolerant execution of synchronous programs.
+
+    The paper's algorithms assume a perfect synchronous network; under the
+    simulator's fault layer ({!Mis_sim.Fault}) a single lost message can
+    stall a phase forever or break independence. This module hardens any
+    {!Mis_sim.Program} with the two standard defenses:
+
+    - {b re-broadcast until quiescent}: each logical round of the wrapped
+      program is stretched over [repeats] physical rounds during which the
+      round's messages are re-sent every round and the incoming copies are
+      accumulated and de-duplicated, so a message survives unless all
+      [repeats] copies are dropped (probability [p^repeats] under
+      independent drops);
+    - {b timeout/fallback}: a node that has not decided after [timeout]
+      logical rounds outputs the [fallback] decision ([false] = stay out
+      of the MIS, which can cost coverage but never independence), so the
+      computation terminates under arbitrary loss.
+
+    With [repeats = 1] and no timeout the wrapper is an exact no-op, and
+    with the zero fault plan any [repeats] yields the same MIS output as
+    the unwrapped program (only round/message accounting changes) — both
+    asserted in the test suite. *)
+
+type ('s, 'm) robust_state
+
+val robustify :
+  ?repeats:int ->
+  ?timeout:int ->
+  ?fallback:bool ->
+  ('s, 'm) Mis_sim.Program.t ->
+  (('s, 'm) robust_state, 'm) Mis_sim.Program.t
+(** [robustify program] re-broadcasts each logical round's actions
+    [repeats] (default 3) times and de-duplicates received [(sender,
+    message)] pairs before handing them to [program]. [timeout] (default:
+    none) bounds the number of logical rounds before the node gives up and
+    outputs [fallback] (default [false]). Requires [repeats >= 1]. *)
+
+val luby_rounds_budget : n:int -> int
+(** Logical-round timeout used by {!run_luby}: generous compared to
+    Luby's [O(log n)] w.h.p. bound, so the fallback fires only when loss
+    genuinely starves a phase. *)
+
+val fair_tree_rounds_budget : n:int -> gamma:int -> int
+(** Logical-round timeout used by {!run_fair_tree}: the fixed [6γ + 6]
+    stage schedule plus the Luby-fallback budget. *)
+
+val run_luby :
+  ?repeats:int ->
+  ?timeout:int ->
+  ?faults:Mis_sim.Fault.t ->
+  ?stage:int ->
+  Mis_graph.View.t ->
+  Rand_plan.t ->
+  Mis_sim.Runtime.outcome
+(** Luby's algorithm hardened by {!robustify}, executed under the given
+    fault plan. Coins are drawn exactly as in {!Luby.run_distributed}. *)
+
+val run_fair_tree :
+  ?repeats:int ->
+  ?timeout:int ->
+  ?faults:Mis_sim.Fault.t ->
+  ?gamma:int ->
+  Mis_graph.View.t ->
+  Rand_plan.t ->
+  Mis_sim.Runtime.outcome
+(** FairTree hardened by {!robustify} under the given fault plan. Coins
+    are drawn exactly as in {!Fair_tree_distributed.run}. *)

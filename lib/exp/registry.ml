@@ -35,7 +35,9 @@ let all =
     { id = "regions"; title = "Per-region fairness on mixed-density graphs";
       paper_ref = "Sec. VII remark"; run = Regions.run };
     { id = "convergence"; title = "Factor-estimator bias vs trial count";
-      paper_ref = "Sec. IX methodology"; run = Convergence.run } ]
+      paper_ref = "Sec. IX methodology"; run = Convergence.run };
+    { id = "faults"; title = "Fairness under message loss";
+      paper_ref = "Sec. III model, faulty networks (ours)"; run = Faults.run } ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
 let ids () = List.map (fun e -> e.id) all

@@ -14,6 +14,18 @@ let is_maximal_independent view in_set =
         if not (View.exists_adj view u (fun v -> in_set.(v))) then ok := false);
   !ok
 
+let surviving_view view ~crashed =
+  let n = View.n view in
+  if Array.length crashed <> n then
+    invalid_arg "Check.surviving_view: crashed mask length";
+  let nodes = Array.init n (fun u -> View.node_active view u && not crashed.(u)) in
+  let m = Graph.m (View.graph view) in
+  let edges = Array.init m (fun e -> View.edge_active view e) in
+  View.restrict ~nodes ~edges (View.graph view)
+
+let is_surviving_mis view ~crashed in_set =
+  is_maximal_independent (surviving_view view ~crashed) in_set
+
 let is_proper_coloring view color =
   let ok = ref true in
   View.iter_active view (fun u ->

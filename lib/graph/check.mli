@@ -9,6 +9,17 @@ val is_independent_set : View.t -> bool array -> bool
 val is_maximal_independent : View.t -> bool array -> bool
 (** Independent, and every active non-member has an active member neighbor. *)
 
+val surviving_view : View.t -> crashed:bool array -> View.t
+(** [view] with the crashed nodes additionally masked out: the subgraph a
+    faulty execution actually served.
+    @raise Invalid_argument if [crashed] does not have length [View.n]. *)
+
+val is_surviving_mis : View.t -> crashed:bool array -> bool array -> bool
+(** Graceful-degradation oracle for faulty runs: [in_set] is a maximal
+    independent set of the {!surviving_view} — independence and coverage
+    are required only among the nodes that did not crash-stop. With an
+    all-[false] mask this is {!is_maximal_independent}. *)
+
 val is_proper_coloring : View.t -> int array -> bool
 (** Every active node has a color [>= 0] differing from all active
     neighbors' colors. *)

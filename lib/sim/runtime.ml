@@ -6,13 +6,17 @@ type outcome = {
   rounds : int;
   messages : int;
   max_message_bits : int;
+  dropped : int;
+  delayed : int;
+  crashed : bool array;
 }
 
 let ceil_log2 n =
   let rec loop k acc = if acc >= n then k else loop (k + 1) (2 * acc) in
   loop 0 1
 
-let run ?max_rounds ?size_bits ?ids ~rng_of view (program : ('s, 'm) Program.t) =
+let run ?max_rounds ?size_bits ?ids ?(faults = Fault.none) ~rng_of view
+    (program : ('s, 'm) Program.t) =
   let n = View.n view in
   let ids = match ids with Some a -> a | None -> Array.init n (fun i -> i) in
   if Array.length ids <> n then invalid_arg "Runtime.run: ids length";
@@ -21,6 +25,10 @@ let run ?max_rounds ?size_bits ?ids ~rng_of view (program : ('s, 'm) Program.t) 
     | Some r -> r
     | None -> 64 + (64 * ceil_log2 (max n 2))
   in
+  let fault_active = not (Fault.is_none faults) in
+  let crash_round = Fault.crash_rounds faults ~n in
+  let delay_slots = Fault.max_delay faults + 1 in
+  let adversary = Fault.adversary faults in
   let active = View.active_nodes view in
   let index_of_id = Hashtbl.create (2 * Array.length active) in
   Array.iter
@@ -37,6 +45,15 @@ let run ?max_rounds ?size_bits ?ids ~rng_of view (program : ('s, 'm) Program.t) 
         Array.of_list (List.rev !acc))
       active
   in
+  (* Per-node neighbor sets give O(1) membership checks on the Send path. *)
+  let neighbor_sets =
+    Array.map
+      (fun nbrs ->
+        let h = Hashtbl.create ((2 * Array.length nbrs) + 1) in
+        Array.iter (fun v -> Hashtbl.replace h v ()) nbrs;
+        h)
+      neighbor_indices
+  in
   (* slot.(u) = position of node u in [active], or -1. *)
   let slot = Array.make n (-1) in
   Array.iteri (fun s u -> slot.(u) <- s) active;
@@ -52,11 +69,23 @@ let run ?max_rounds ?size_bits ?ids ~rng_of view (program : ('s, 'm) Program.t) 
   in
   let output = Array.make n false in
   let decided = Array.make n false in
+  let crashed = Array.make n false in
   let states : 's option array = Array.make (Array.length active) None in
   let inbox : (int * 'm) list array = Array.make (Array.length active) [] in
-  let next_inbox : (int * 'm) list array = Array.make (Array.length active) [] in
+  (* buffers.(r mod delay_slots).(s) holds the messages node [active.(s)]
+     will receive at round r. With no delay this degenerates to the single
+     next-round inbox of the perfect network. *)
+  let buffers =
+    Array.init delay_slots (fun _ -> Array.make (Array.length active) [])
+  in
   let messages = ref 0 in
+  let dropped = ref 0 in
+  let delayed = ref 0 in
   let max_bits = ref 0 in
+  let current_round = ref 0 in
+  (* seq distinguishes the drop/delay keys of multiple same-round messages
+     on the same directed edge (e.g. a Broadcast plus a Send). *)
+  let seq_tbl : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let record_size m =
     match size_bits with
     | None -> ()
@@ -64,13 +93,46 @@ let run ?max_rounds ?size_bits ?ids ~rng_of view (program : ('s, 'm) Program.t) 
       let b = f m in
       if b > !max_bits then max_bits := b
   in
-  let deliver_to ~sender_id v m =
+  let enqueue s delivery sender_id m =
+    buffers.(delivery mod delay_slots).(s) <-
+      (sender_id, m) :: buffers.(delivery mod delay_slots).(s);
+    incr messages;
+    record_size m
+  in
+  let deliver_to ~src ~sender_id v m =
     let s = slot.(v) in
-    if s >= 0 && not decided.(v) then begin
-      next_inbox.(s) <- (sender_id, m) :: next_inbox.(s);
-      incr messages;
-      record_size m
-    end
+    if s >= 0 && not decided.(v) then
+      if not fault_active then enqueue s (!current_round + 1) sender_id m
+      else begin
+        let round = !current_round in
+        let seq =
+          let key = (src * n) + v in
+          let c = Option.value ~default:0 (Hashtbl.find_opt seq_tbl key) in
+          Hashtbl.replace seq_tbl key (c + 1);
+          c
+        in
+        let adv_drop =
+          match adversary with
+          | Some f -> f ~round ~src ~dst:v
+          | None -> false
+        in
+        let p = Fault.drop_prob faults ~src ~dst:v in
+        let rand_drop =
+          (not adv_drop) && p > 0.
+          && Fault.drop_roll faults ~round ~src ~dst:v ~seq < p
+        in
+        if adv_drop || rand_drop then incr dropped
+        else begin
+          let d = Fault.delay_roll faults ~round ~src ~dst:v ~seq in
+          let delivery = round + 1 + d in
+          (* A message reaching a node at or after its crash round is lost. *)
+          if crash_round.(v) <= delivery then incr dropped
+          else begin
+            enqueue s delivery sender_id m;
+            if d > 0 then incr delayed
+          end
+        end
+      end
   in
   let perform s actions =
     let u = active.(s) in
@@ -79,11 +141,13 @@ let run ?max_rounds ?size_bits ?ids ~rng_of view (program : ('s, 'm) Program.t) 
       (fun action ->
         match action with
         | Program.Broadcast m ->
-          Array.iter (fun v -> deliver_to ~sender_id v m) neighbor_indices.(s)
+          Array.iter
+            (fun v -> deliver_to ~src:u ~sender_id v m)
+            neighbor_indices.(s)
         | Program.Send (target_id, m) -> begin
           match Hashtbl.find_opt index_of_id target_id with
-          | Some v when Array.exists (fun w -> w = v) neighbor_indices.(s) ->
-            deliver_to ~sender_id v m
+          | Some v when Hashtbl.mem neighbor_sets.(s) v ->
+            deliver_to ~src:u ~sender_id v m
           | Some _ | None ->
             invalid_arg
               (Printf.sprintf "Runtime.run(%s): send to non-neighbor id %d"
@@ -92,23 +156,41 @@ let run ?max_rounds ?size_bits ?ids ~rng_of view (program : ('s, 'm) Program.t) 
       actions
   in
   let undecided = ref (Array.length active) in
+  let crash_events_at r =
+    if fault_active then
+      Array.iter
+        (fun u ->
+          (* A crash after [Output] is a no-op: the decision was already
+             committed and announced. *)
+          if crash_round.(u) = r && not (crashed.(u) || decided.(u)) then begin
+            crashed.(u) <- true;
+            decr undecided
+          end)
+        active
+  in
   Array.iteri
-    (fun s _ ->
+    (fun s u ->
       let state, actions = program.Program.init ctx.(s) in
       states.(s) <- Some state;
-      perform s actions)
+      if crash_round.(u) > 0 then perform s actions)
     active;
+  crash_events_at 0;
   let rounds = ref 0 in
   while !undecided > 0 && !rounds < max_rounds do
     incr rounds;
+    let r = !rounds in
+    current_round := r;
+    crash_events_at r;
+    if fault_active then Hashtbl.reset seq_tbl;
+    let buf = buffers.(r mod delay_slots) in
     Array.iteri
       (fun s msgs ->
         inbox.(s) <- msgs;
-        next_inbox.(s) <- [])
-      next_inbox;
+        buf.(s) <- [])
+      buf;
     Array.iteri
       (fun s u ->
-        if not decided.(u) then begin
+        if not (decided.(u) || crashed.(u)) then begin
           match states.(s) with
           | None -> assert false
           | Some state ->
@@ -124,4 +206,5 @@ let run ?max_rounds ?size_bits ?ids ~rng_of view (program : ('s, 'm) Program.t) 
       active
   done;
   { output; decided; rounds = !rounds; messages = !messages;
-    max_message_bits = !max_bits }
+    max_message_bits = !max_bits; dropped = !dropped; delayed = !delayed;
+    crashed }

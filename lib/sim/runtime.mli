@@ -4,7 +4,13 @@
     delivering each round's messages at the start of the next round, and
     accounting rounds, message volume, and (optionally) the largest message
     size so the [O(log n)]-bit CONGEST discipline of the model can be
-    asserted in tests. *)
+    asserted in tests.
+
+    An optional fault {!Fault.t} plan makes the network unreliable:
+    messages can be dropped (randomly or adversarially) or delayed a
+    bounded number of rounds, and nodes can crash-stop on a schedule. All
+    fault decisions are keyed deterministic draws, so a faulty run is
+    reproducible from the program seed and the plan alone. *)
 
 type outcome = {
   output : bool array;
@@ -14,12 +20,22 @@ type outcome = {
   rounds : int;  (** Communication rounds executed. *)
   messages : int;  (** Total point-to-point messages delivered. *)
   max_message_bits : int;  (** 0 unless [size_bits] was provided. *)
+  dropped : int;
+      (** Messages lost to random drops, the adversary, or a crashed
+          destination. 0 on a perfect network. *)
+  delayed : int;
+      (** Delivered messages that arrived at least one round late. *)
+  crashed : bool array;
+      (** Nodes that crash-stopped during the run (before deciding the
+          flag matters; a crash after [Output] is a no-op). All-[false]
+          on a perfect network. *)
 }
 
 val run :
   ?max_rounds:int ->
   ?size_bits:('m -> int) ->
   ?ids:int array ->
+  ?faults:Fault.t ->
   rng_of:(int -> Mis_util.Splitmix.t) ->
   Mis_graph.View.t ->
   ('s, 'm) Program.t ->
@@ -28,9 +44,18 @@ val run :
 
     [ids] maps node index to the unique identifier exposed to programs
     (default: the index itself). [rng_of index] supplies each node's
-    private random stream. Execution stops when every active node has
+    private random stream. Execution stops when every active live node has
     decided, or after [max_rounds] (default [64 + 64 * ceil(log2 n)])
     rounds, whichever comes first.
 
+    [faults] (default {!Fault.none}) injects message drops, bounded
+    delays and crash-stops as described in {!Fault}. With the zero plan
+    the execution — outputs, rounds, message counts — is identical to a
+    run without the argument. A node whose crash round is [r] performs no
+    step from round [r] on (round 0 = the initial step); undelivered
+    messages to it count as dropped, and the run terminates once every
+    non-crashed active node has decided.
+
     @raise Invalid_argument if [ids] contains duplicates among active
-    nodes, or if a program sends to an id that is not its neighbor. *)
+    nodes, if a program sends to an id that is not its neighbor, or if the
+    fault plan schedules a crash for an out-of-range node. *)

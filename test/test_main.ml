@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "fairmis"
-    (Test_util.suite @ Test_graph.suite @ Test_sim.suite @ Test_workload.suite
+    (Test_util.suite @ Test_graph.suite @ Test_sim.suite @ Test_fault.suite
+    @ Test_workload.suite
     @ Test_rand_plan.suite
     @ Test_mis_core.suite @ Test_fair_algorithms.suite @ Test_blocks.suite
     @ Test_stats.suite @ Test_io.suite @ Test_exp.suite @ Test_edge_cases.suite

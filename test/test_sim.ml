@@ -141,6 +141,35 @@ let test_max_rounds_cutoff () =
   Alcotest.(check int) "cut off" 5 outcome.Runtime.rounds;
   Alcotest.(check bool) "undecided" false outcome.Runtime.decided.(0)
 
+let test_max_rounds_outcome_well_formed () =
+  (* Nodes 0 and 1 decide in round 1; node 2 never does. Truncation must
+     report the undecided node with [decided = false], keep its output at
+     the default, and leave every accounting field consistent. *)
+  let stubborn : (unit, unit) Program.t =
+    { Program.name = "stubborn";
+      init = (fun _ -> ((), [ Program.Broadcast () ]));
+      receive =
+        (fun ctx () _ ->
+          if ctx.Node_ctx.id < 2 then (Program.Output true, [])
+          else (Program.Continue (), [ Program.Broadcast () ])) }
+  in
+  let g = path 3 in
+  let outcome = Runtime.run ~rng_of ~max_rounds:7 (View.full g) stubborn in
+  Alcotest.(check int) "truncated" 7 outcome.Runtime.rounds;
+  Alcotest.check Helpers.bool_array "who decided" [| true; true; false |]
+    outcome.Runtime.decided;
+  Alcotest.check Helpers.bool_array "undecided output stays default"
+    [| true; true; false |] outcome.Runtime.output;
+  Alcotest.(check int) "array sizes" 3 (Array.length outcome.Runtime.crashed);
+  Alcotest.(check bool) "no crashes on a perfect network" false
+    (Array.exists (fun b -> b) outcome.Runtime.crashed);
+  Alcotest.(check int) "no drops" 0 outcome.Runtime.dropped;
+  Alcotest.(check int) "no delays" 0 outcome.Runtime.delayed;
+  (* Deliveries: round 0 all 4 arcs; rounds 1..6 node 2 keeps sending to a
+     decided node 1 (delivered but unread). *)
+  Alcotest.(check bool) "message count positive and finite" true
+    (outcome.Runtime.messages > 0)
+
 let test_halted_receive_nothing () =
   (* A node that outputs stops receiving: its neighbor's later messages are
      dropped, which we observe via message counts. *)
@@ -177,5 +206,7 @@ let suite =
         Alcotest.test_case "unicast" `Quick test_unicast;
         Alcotest.test_case "masked view" `Quick test_masked_view;
         Alcotest.test_case "max rounds cutoff" `Quick test_max_rounds_cutoff;
+        Alcotest.test_case "max rounds outcome well-formed" `Quick
+          test_max_rounds_outcome_well_formed;
         Alcotest.test_case "halted nodes drop messages" `Quick
           test_halted_receive_nothing ] ) ]
