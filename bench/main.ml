@@ -7,19 +7,30 @@
      dune exec bench/main.exe -- list
 
    Environment: FAIRMIS_TRIALS, FAIRMIS_FULL, FAIRMIS_NYC, FAIRMIS_DOMAINS,
-   FAIRMIS_SEED (see Mis_exp.Config). *)
+   FAIRMIS_SEED (see Mis_exp.Config).
+
+   Besides the console report, a run writes BENCH_trace.json: the config,
+   per-experiment wall-clock, and the timing estimates, machine-readable
+   for CI archiving. *)
 
 open Bechamel
 open Toolkit
 
 module View = Mis_graph.View
 module Rand_plan = Fairmis.Rand_plan
+module Metrics = Mis_obs.Metrics
+module Json = Mis_obs.Json
 
-let seed_counter = ref 0
-
-let next_seed () =
-  incr seed_counter;
-  !seed_counter
+(* Each test owns its seed counter, so the sequence of workloads a test
+   measures is a function of that test alone — re-ordering, adding or
+   removing tests cannot silently change what the others time. *)
+let stage name f =
+  let counter = ref 0 in
+  let next_seed () =
+    incr counter;
+    !counter
+  in
+  Test.make ~name (Staged.stage (fun () -> f next_seed))
 
 (* One Bechamel test per table/figure workload: the cost of a single
    simulated run of the relevant algorithm on the relevant topology. *)
@@ -37,32 +48,32 @@ let timing_tests () =
        Mis_graph.Rooted.of_tree g ~root:0)
   in
   let sim_tree = lazy (View.full (Helpers_bench.random_tree 256)) in
-  let stage name f = Test.make ~name (Staged.stage f) in
-  [ stage "table1/luby/binary-2047" (fun () ->
+  [ stage "table1/luby/binary-2047" (fun next_seed ->
         Fairmis.Luby.run (Lazy.force binary) (Rand_plan.make (next_seed ())));
-    stage "table1/fairtree/binary-2047" (fun () ->
+    stage "table1/fairtree/binary-2047" (fun next_seed ->
         Fairmis.Fair_tree.run (Lazy.force binary) (Rand_plan.make (next_seed ())));
-    stage "table1/luby/alt30-961" (fun () ->
+    stage "table1/luby/alt30-961" (fun next_seed ->
         Fairmis.Luby.run (Lazy.force alt30) (Rand_plan.make (next_seed ())));
-    stage "table1/fairtree/alt30-961" (fun () ->
+    stage "table1/fairtree/alt30-961" (fun next_seed ->
         Fairmis.Fair_tree.run (Lazy.force alt30) (Rand_plan.make (next_seed ())));
-    stage "fig4/luby/dartmouth-178" (fun () ->
+    stage "fig4/luby/dartmouth-178" (fun next_seed ->
         Fairmis.Luby.run (Lazy.force dartmouth) (Rand_plan.make (next_seed ())));
-    stage "fig4/fairtree/dartmouth-178" (fun () ->
+    stage "fig4/fairtree/dartmouth-178" (fun next_seed ->
         Fairmis.Fair_tree.run (Lazy.force dartmouth) (Rand_plan.make (next_seed ())));
-    stage "star/luby/star-1024" (fun () ->
+    stage "star/luby/star-1024" (fun next_seed ->
         Fairmis.Luby.run (Lazy.force star) (Rand_plan.make (next_seed ())));
-    stage "cone/luby/cone-k64" (fun () ->
+    stage "cone/luby/cone-k64" (fun next_seed ->
         Fairmis.Luby.run (Lazy.force cone) (Rand_plan.make (next_seed ())));
-    stage "rooted/fairrooted/binary-511" (fun () ->
+    stage "rooted/fairrooted/binary-511" (fun next_seed ->
         Fairmis.Fair_rooted.run (Lazy.force rooted) (Rand_plan.make (next_seed ())));
-    stage "bipart/fairbipart/grid-256" (fun () ->
+    stage "bipart/fairbipart/grid-256" (fun next_seed ->
         Fairmis.Fair_bipart.run (Lazy.force grid) (Rand_plan.make (next_seed ())));
-    stage "colormis/planar/trigrid-324" (fun () ->
+    stage "colormis/planar/trigrid-324" (fun next_seed ->
         fst (Fairmis.Color_mis.run_planar (Lazy.force trigrid) (Rand_plan.make (next_seed ()))));
-    stage "rounds/luby-simulator/tree-256" (fun () ->
+    stage "rounds/luby-simulator/tree-256" (fun next_seed ->
         Fairmis.Luby.run_distributed (Lazy.force sim_tree) (Rand_plan.make (next_seed ()))) ]
 
+(* Returns the per-workload nanosecond estimates for the trace file. *)
 let run_timing () =
   print_endline "== timing: one simulated run per table/figure workload";
   let tests = timing_tests () in
@@ -74,41 +85,78 @@ let run_timing () =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
   in
   let header = [ "workload"; "ns/run"; "ms/run" ] in
-  let rows =
+  let estimates =
     List.map
       (fun test ->
         let name = Test.Elt.name (List.hd (Test.elements test)) in
         let results = Benchmark.all cfg instances test in
         let analyzed = Analyze.all ols Instance.monotonic_clock results in
-        let row = ref [ name; "?"; "?" ] in
+        let ns = ref None in
         Hashtbl.iter
           (fun _name ols_result ->
             match Analyze.OLS.estimates ols_result with
-            | Some [ ns ] ->
-              row :=
-                [ name; Printf.sprintf "%.0f" ns;
-                  Printf.sprintf "%.3f" (ns /. 1e6) ]
+            | Some [ v ] -> ns := Some v
             | _ -> ())
           analyzed;
-        !row)
+        (name, !ns))
       tests
   in
+  let rows =
+    List.map
+      (fun (name, ns) ->
+        match ns with
+        | Some v ->
+          [ name; Printf.sprintf "%.0f" v; Printf.sprintf "%.3f" (v /. 1e6) ]
+        | None -> [ name; "?"; "?" ])
+      estimates
+  in
   Mis_exp.Table.print ~header rows;
-  print_newline ()
+  print_newline ();
+  estimates
 
-let run_experiment cfg id =
+let run_experiment ~metrics cfg id =
   match Mis_exp.Registry.find id with
   | Some e ->
     Printf.printf "# [%s] %s (%s)\n\n" e.Mis_exp.Registry.id
       e.Mis_exp.Registry.title e.Mis_exp.Registry.paper_ref;
-    e.Mis_exp.Registry.run cfg
+    Metrics.time
+      (Metrics.timer metrics ("experiment." ^ id))
+      (fun () -> e.Mis_exp.Registry.run cfg)
   | None ->
     Printf.eprintf "unknown experiment %S; known: %s, timing\n" id
       (String.concat ", " (Mis_exp.Registry.ids ()));
     exit 2
 
+let trace_path = "BENCH_trace.json"
+
+let write_bench_trace ~cfg ~timing metrics =
+  let snap = Metrics.snapshot metrics in
+  let timing_json =
+    Json.arr
+      (List.map
+         (fun (name, ns) ->
+           Json.obj
+             [ ("workload", Json.str name);
+               ( "ns_per_run",
+                 match ns with Some v -> Json.float v | None -> Json.null )
+             ])
+         timing)
+  in
+  let json =
+    Json.obj
+      [ ("config", Json.str (Mis_exp.Config.describe cfg));
+        ("metrics", Metrics.to_json snap);
+        ("timing", timing_json) ]
+  in
+  let oc = open_out trace_path in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "bench trace written to %s\n" trace_path
+
 let () =
   let cfg = Mis_exp.Config.load () in
+  let metrics = Metrics.create () in
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
   | [ "list" ] ->
@@ -121,10 +169,15 @@ let () =
   | [] | [ "all" ] ->
     Printf.printf "fairmis bench — %s\n\n" (Mis_exp.Config.describe cfg);
     List.iter
-      (fun e -> run_experiment cfg e.Mis_exp.Registry.id)
+      (fun e -> run_experiment ~metrics cfg e.Mis_exp.Registry.id)
       Mis_exp.Registry.all;
-    run_timing ()
+    let timing = run_timing () in
+    write_bench_trace ~cfg ~timing metrics
   | ids ->
+    let timing = ref [] in
     List.iter
-      (fun id -> if id = "timing" then run_timing () else run_experiment cfg id)
-      ids
+      (fun id ->
+        if id = "timing" then timing := run_timing ()
+        else run_experiment ~metrics cfg id)
+      ids;
+    write_bench_trace ~cfg ~timing:!timing metrics

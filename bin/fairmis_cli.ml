@@ -68,19 +68,47 @@ let or_die = function
 
 let list_cmd =
   let doc = "List algorithms, topologies, and experiments." in
-  let run () =
-    print_endline "algorithms:";
-    List.iter (fun (n, _) -> Printf.printf "  %s\n" n) algorithms;
-    print_endline "topologies (name:defaults):";
-    List.iter (fun n -> Printf.printf "  %s\n" n) Mis_exp.Topo_spec.names;
-    print_endline "experiments:";
-    List.iter
-      (fun e ->
-        Printf.printf "  %-10s %s (%s)\n" e.Mis_exp.Registry.id
-          e.Mis_exp.Registry.title e.Mis_exp.Registry.paper_ref)
-      Mis_exp.Registry.all
+  let json =
+    Arg.(value & flag
+        & info [ "json" ] ~doc:"Emit the listing as JSON (for tooling/CI).")
   in
-  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+  let run json =
+    if json then begin
+      let module J = Mis_obs.Json in
+      print_endline
+        (J.obj
+           [ ( "algorithms",
+               J.arr (List.map (fun (n, _) -> J.str n) algorithms) );
+             ( "traceable",
+               J.arr
+                 (List.map
+                    (fun t -> J.str t.Mis_exp.Runners.t_name)
+                    Mis_exp.Runners.traced) );
+             ("topologies", J.arr (List.map J.str Mis_exp.Topo_spec.names));
+             ( "experiments",
+               J.arr
+                 (List.map
+                    (fun e ->
+                      J.obj
+                        [ ("id", J.str e.Mis_exp.Registry.id);
+                          ("title", J.str e.Mis_exp.Registry.title);
+                          ("paper_ref", J.str e.Mis_exp.Registry.paper_ref) ])
+                    Mis_exp.Registry.all) ) ])
+    end
+    else begin
+      print_endline "algorithms:";
+      List.iter (fun (n, _) -> Printf.printf "  %s\n" n) algorithms;
+      print_endline "topologies (name:defaults):";
+      List.iter (fun n -> Printf.printf "  %s\n" n) Mis_exp.Topo_spec.names;
+      print_endline "experiments:";
+      List.iter
+        (fun e ->
+          Printf.printf "  %-10s %s (%s)\n" e.Mis_exp.Registry.id
+            e.Mis_exp.Registry.title e.Mis_exp.Registry.paper_ref)
+        Mis_exp.Registry.all
+    end
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ json)
 
 (* topo *)
 
@@ -217,6 +245,104 @@ let measure_cmd =
   Cmd.v (Cmd.info "measure" ~doc)
     Term.(const run $ alg_arg $ spec_arg1 $ seed_arg $ trials $ domains $ csv)
 
+(* trace *)
+
+let trace_cmd =
+  let doc =
+    "Run one simulator-backed algorithm with tracing enabled, writing the \
+     structured event stream as JSONL and a per-round summary."
+  in
+  let out =
+    Arg.(value & opt (some string) None
+        & info [ "out" ]
+            ~doc:"JSONL output path (default: $(i,ALGORITHM).trace.jsonl).")
+  in
+  let width =
+    Arg.(value & opt int 60 & info [ "width" ] ~doc:"Sparkline width.")
+  in
+  let run alg spec seed out width =
+    let tr =
+      match Mis_exp.Runners.find_traced alg with
+      | Some t -> t
+      | None ->
+        or_die
+          (Error
+             (Printf.sprintf "algorithm %S is not traceable (traceable: %s)"
+                alg
+                (String.concat ", "
+                   (List.map
+                      (fun t -> t.Mis_exp.Runners.t_name)
+                      Mis_exp.Runners.traced))))
+    in
+    let g = or_die (graph_of_spec spec) in
+    let view = View.full g in
+    let path = match out with Some p -> p | None -> alg ^ ".trace.jsonl" in
+    let metrics = Mis_obs.Metrics.create () in
+    let o =
+      Mis_obs.Trace.with_jsonl_file path (fun file_sink ->
+          let tracer =
+            Mis_obs.Trace.tee [ file_sink; Mis_obs.Trace.counting metrics ]
+          in
+          tr.Mis_exp.Runners.t_run view ~seed ~tracer)
+    in
+    let open Mis_sim.Runtime in
+    Fairmis.Mis.verify ~name:alg view o.output;
+    let size =
+      Array.fold_left (fun a b -> if b then a + 1 else a) 0 o.output
+    in
+    Printf.printf
+      "%s on %s (seed %d): rounds=%d messages=%d MIS size %d / %d — valid\n"
+      tr.Mis_exp.Runners.t_display spec seed o.rounds o.messages size
+      (Graph.n g);
+    Printf.printf "messages/round  %s\n"
+      (Mis_exp.Ascii_plot.sparkline ~width
+         (Array.map (fun rs -> float_of_int rs.rs_messages) o.round_stats));
+    let snap = Mis_obs.Metrics.snapshot metrics in
+    let count k =
+      Option.value ~default:0
+        (Mis_obs.Metrics.find_counter snap ("trace.events." ^ k))
+    in
+    let total =
+      List.fold_left
+        (fun a k -> a + count k)
+        0
+        [ "run_begin"; "round_begin"; "round_end"; "send"; "drop"; "delay";
+          "recv"; "decide"; "crash"; "annotate"; "span_begin"; "span_end";
+          "run_end" ]
+    in
+    Printf.printf
+      "events: %d total (send %d, recv %d, decide %d, annotate %d)\n" total
+      (count "send") (count "recv") (count "decide") (count "annotate");
+    let decided_total =
+      Array.fold_left (fun a b -> if b then a + 1 else a) 0 o.decided
+    in
+    let checks =
+      [ ("send = delivered + dropped", count "send", o.messages + o.dropped);
+        ("drop", count "drop", o.dropped);
+        ("delay", count "delay", o.delayed);
+        ("decide", count "decide", decided_total);
+        ( "round_end",
+          count "round_end",
+          Array.length o.round_stats ) ]
+    in
+    let bad =
+      List.filter (fun (_, got, want) -> got <> want) checks
+    in
+    if bad = [] then
+      Printf.printf "trace consistent with outcome; jsonl written to %s\n"
+        path
+    else begin
+      List.iter
+        (fun (what, got, want) ->
+          Printf.eprintf "trace mismatch: %s — events say %d, outcome says %d\n"
+            what got want)
+        bad;
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ alg_arg $ spec_arg1 $ seed_arg $ out $ width)
+
 (* faults *)
 
 let faults_cmd =
@@ -283,5 +409,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; topo_cmd; run_cmd; measure_cmd; faults_cmd;
+          [ list_cmd; topo_cmd; run_cmd; measure_cmd; trace_cmd; faults_cmd;
             experiment_cmd ]))

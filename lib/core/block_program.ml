@@ -94,7 +94,9 @@ let program cfg : (state, message) Program.t =
       merge st inbox;
       if r = stage1_rounds then begin
         let i1 = decide cfg ~id st in
-        (Program.Continue { st with i1 }, [ Program.Broadcast (Member i1) ])
+        ( Program.Continue { st with i1 },
+          [ Program.Probe ("block.i1", if i1 then 1 else 0);
+            Program.Broadcast (Member i1) ] )
       end
       else begin
         let st =
@@ -114,7 +116,8 @@ let program cfg : (state, message) Program.t =
         let v = cfg.luby_value ~id ~phase:0 in
         ( Program.Continue
             { st with luby_phase = 0; luby_sub = Await_values; luby_value = v },
-          [ Program.Broadcast (Value v) ] )
+          [ Program.Probe ("block.luby_fallback", 1);
+            Program.Broadcast (Value v) ] )
       end
     end
     else begin

@@ -21,6 +21,7 @@ val program :
 val run :
   ?p:float ->
   ?gamma:int ->
+  ?tracer:Mis_obs.Trace.sink ->
   Mis_graph.View.t ->
   coloring:int array ->
   k:int ->

@@ -22,7 +22,7 @@ let ceil_log2 n =
   let rec loop k acc = if acc >= n then k else loop (k + 1) (2 * acc) in
   loop 0 1
 
-let run ?(p = 0.5) ?gamma view plan =
+let run ?(p = 0.5) ?gamma ?tracer view plan =
   let n = Mis_graph.View.n view in
   let gamma =
     match gamma with Some v -> v | None -> Fair_bipart.gamma_default ~n
@@ -30,5 +30,6 @@ let run ?(p = 0.5) ?gamma view plan =
   let prog = program ~plan ~p ~gamma in
   Mis_sim.Runtime.run
     ~max_rounds:((gamma * gamma) + 2 + (64 * (ceil_log2 (max n 2) + 2)))
+    ?tracer
     ~rng_of:(fun u -> Rand_plan.node_stream plan ~stage:97 ~node:u)
     view prog

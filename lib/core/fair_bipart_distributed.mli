@@ -20,6 +20,7 @@ val program :
 val run :
   ?p:float ->
   ?gamma:int ->
+  ?tracer:Mis_obs.Trace.sink ->
   Mis_graph.View.t ->
   Rand_plan.t ->
   Mis_sim.Runtime.outcome

@@ -125,7 +125,9 @@ let program ~plan ~gamma : (state, Messages.t) Program.t =
       end
       else begin
         let i1 = cfb_joined ~participant_degree:(List.length st.uncut) cfb in
-        (Program.Continue { st with cfb; i1 }, [ Program.Broadcast (Member i1) ])
+        ( Program.Continue { st with cfb; i1 },
+          [ Program.Probe ("fairtree.i1", if i1 then 1 else 0);
+            Program.Broadcast (Member i1) ] )
       end
     end
     (* Announce I1; stage-2 participants start their flood. *)
@@ -159,7 +161,9 @@ let program ~plan ~gamma : (state, Messages.t) Program.t =
           && cfb_joined ~participant_degree:(List.length st.i1_neighbors) cfb
         in
         let i2 = st.i1 && joined in
-        (Program.Continue { st with cfb; i2 }, [ Program.Broadcast (Member i2) ])
+        ( Program.Continue { st with cfb; i2 },
+          [ Program.Probe ("fairtree.i2", if i2 then 1 else 0);
+            Program.Broadcast (Member i2) ] )
       in
       if not st.i1 then
         if r < (4 * g) + 1 then (Program.Continue st, [])
@@ -239,7 +243,9 @@ let program ~plan ~gamma : (state, Messages.t) Program.t =
     else if r = (6 * g) + 4 then begin
       let i4 = st.i3 && not (any_member inbox) in
       (* Reuse [i3] to carry the repaired membership forward. *)
-      (Program.Continue { st with i3 = i4 }, [ Program.Broadcast (Member i4) ])
+      ( Program.Continue { st with i3 = i4 },
+        [ Program.Probe ("fairtree.i4", if i4 then 1 else 0);
+          Program.Broadcast (Member i4) ] )
     end
     else if r = (6 * g) + 5 then begin
       let i4 = st.i3 in
@@ -249,7 +255,8 @@ let program ~plan ~gamma : (state, Messages.t) Program.t =
         let v = luby_value_for id 0 in
         ( Program.Continue
             { st with luby_phase = 0; luby_sub = Await_values; luby_value = v },
-          [ Program.Broadcast (Value v) ] )
+          [ Program.Probe ("fairtree.luby_fallback", 1);
+            Program.Broadcast (Value v) ] )
       end
     end
     (* Luby fallback among the remaining nodes (3 rounds per phase). *)
@@ -294,7 +301,7 @@ let message_bits ~n m =
   | Value _ -> 62
   | In_mis | Withdraw -> 1
 
-let run ?gamma view plan =
+let run ?gamma ?tracer view plan =
   let n = Mis_graph.View.n view in
   let gamma =
     match gamma with Some v -> v | None -> Fair_tree.gamma_default ~n
@@ -302,6 +309,6 @@ let run ?gamma view plan =
   let prog = program ~plan ~gamma in
   Mis_sim.Runtime.run
     ~max_rounds:((6 * gamma) + 6 + (64 * (ceil_log2 (max n 2) + 2)))
-    ~size_bits:(message_bits ~n)
+    ~size_bits:(message_bits ~n) ?tracer
     ~rng_of:(fun u -> Rand_plan.node_stream plan ~stage:99 ~node:u)
     view prog

@@ -26,9 +26,16 @@ val program :
   plan:Rand_plan.t -> gamma:int -> (state, Messages.t) Mis_sim.Program.t
 
 val run :
-  ?gamma:int -> Mis_graph.View.t -> Rand_plan.t -> Mis_sim.Runtime.outcome
+  ?gamma:int ->
+  ?tracer:Mis_obs.Trace.sink ->
+  Mis_graph.View.t ->
+  Rand_plan.t ->
+  Mis_sim.Runtime.outcome
 (** Execute on the simulator with identity ids and a round budget of
-    [6γ + O(log n)] rounds. *)
+    [6γ + O(log n)] rounds. When tracing, each node emits probes as it
+    learns its stage memberships ([fairtree.i1], [fairtree.i2],
+    [fairtree.i4]) and when it enters the Luby fallback
+    ([fairtree.luby_fallback]). *)
 
 val message_bits : n:int -> Messages.t -> int
 (** Size accounting: every message fits in O(log n) bits. *)

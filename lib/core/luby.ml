@@ -67,7 +67,7 @@ let program plan ~stage : (state, message) Program.t =
     let v = value_of ctx.id 0 in
     ( { phase = 0; sub = Await_values; live = Array.to_list ctx.neighbor_ids;
         my_value = v },
-      [ Program.Broadcast (Value v) ] )
+      [ Program.Probe ("luby.phase", 0); Program.Broadcast (Value v) ] )
   in
   let receive (ctx : Mis_sim.Node_ctx.t) st inbox =
     match st.sub with
@@ -96,11 +96,12 @@ let program plan ~stage : (state, message) Program.t =
       let phase = st.phase + 1 in
       let v = value_of ctx.id phase in
       ( Program.Continue { phase; sub = Await_values; live; my_value = v },
-        [ Program.Broadcast (Value v) ] )
+        [ Program.Probe ("luby.phase", phase); Program.Broadcast (Value v) ] )
   in
   { Program.name = "luby"; init; receive }
 
-let run_distributed ?(stage = default_stage) view plan =
+let run_distributed ?(stage = default_stage) ?tracer view plan =
   let prog = program plan ~stage in
-  Mis_sim.Runtime.run ~rng_of:(fun u -> Rand_plan.node_stream plan ~stage ~node:u)
+  Mis_sim.Runtime.run ?tracer
+    ~rng_of:(fun u -> Rand_plan.node_stream plan ~stage ~node:u)
     view prog

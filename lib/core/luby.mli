@@ -30,4 +30,10 @@ val program : Rand_plan.t -> stage:int -> (state, message) Mis_sim.Program.t
     return identical sets — asserted in the test suite. *)
 
 val run_distributed :
-  ?stage:int -> Mis_graph.View.t -> Rand_plan.t -> Mis_sim.Runtime.outcome
+  ?stage:int ->
+  ?tracer:Mis_obs.Trace.sink ->
+  Mis_graph.View.t ->
+  Rand_plan.t ->
+  Mis_sim.Runtime.outcome
+(** Simulator execution. The program emits a [("luby.phase", p)] probe as
+    each node enters phase [p] (visible only when tracing). *)

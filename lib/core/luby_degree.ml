@@ -123,8 +123,8 @@ let program plan ~stage : (state, message) Program.t =
   in
   { Program.name = "luby_degree"; init; receive }
 
-let run_distributed ?(stage = default_stage) view plan =
+let run_distributed ?(stage = default_stage) ?tracer view plan =
   let prog = program plan ~stage in
-  Mis_sim.Runtime.run
+  Mis_sim.Runtime.run ?tracer
     ~rng_of:(fun u -> Rand_plan.node_stream plan ~stage ~node:u)
     view prog

@@ -26,4 +26,8 @@ val program : Rand_plan.t -> stage:int -> (state, message) Mis_sim.Program.t
     is outcome-identical to {!run} (asserted in the tests). *)
 
 val run_distributed :
-  ?stage:int -> Mis_graph.View.t -> Rand_plan.t -> Mis_sim.Runtime.outcome
+  ?stage:int ->
+  ?tracer:Mis_obs.Trace.sink ->
+  Mis_graph.View.t ->
+  Rand_plan.t ->
+  Mis_sim.Runtime.outcome

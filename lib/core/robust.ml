@@ -36,10 +36,16 @@ let robustify ?(repeats = 3) ?timeout ?(fallback = false)
   let timed_out logical =
     match timeout with Some t -> logical >= t | None -> false
   in
+  (* Probes are annotations, not messages: re-performing them every
+     physical round of the window would duplicate trace events, so the
+     resend list keeps only real sends. *)
+  let resendable =
+    List.filter (function Program.Probe _ -> false | _ -> true)
+  in
   let init ctx =
     let state, actions = program.Program.init ctx in
-    ( { inner = Running state; pending = actions; got = []; left = repeats;
-        logical = 0 },
+    ( { inner = Running state; pending = resendable actions; got = [];
+        left = repeats; logical = 0 },
       actions )
   in
   let receive ctx st inbox =
@@ -62,15 +68,15 @@ let robustify ?(repeats = 3) ?timeout ?(fallback = false)
             (* Keep re-announcing the final messages for the rest of a
                window so neighbors reliably hear the decision. *)
             ( Program.Continue
-                { inner = Finishing b; pending = actions; got = [];
+                { inner = Finishing b; pending = resendable actions; got = [];
                   left = repeats - 1; logical },
               actions )
         | Program.Continue state' ->
           if timed_out logical then (Program.Output fallback, actions)
           else
             ( Program.Continue
-                { inner = Running state'; pending = actions; got = [];
-                  left = repeats; logical },
+                { inner = Running state'; pending = resendable actions;
+                  got = []; left = repeats; logical },
               actions ))
     end
   in
@@ -84,8 +90,8 @@ let luby_rounds_budget ~n = 32 + (16 * ceil_log2 (max n 2))
 
 let fair_tree_rounds_budget ~n ~gamma = (6 * gamma) + 6 + luby_rounds_budget ~n
 
-let run_luby ?repeats ?timeout ?faults ?(stage = Rand_plan.Stage.luby_main) view
-    plan =
+let run_luby ?repeats ?timeout ?faults ?tracer
+    ?(stage = Rand_plan.Stage.luby_main) view plan =
   let n = Mis_graph.View.n view in
   let repeats = match repeats with Some r -> r | None -> 3 in
   let timeout =
@@ -94,11 +100,11 @@ let run_luby ?repeats ?timeout ?faults ?(stage = Rand_plan.Stage.luby_main) view
   let prog = robustify ~repeats ~timeout (Luby.program plan ~stage) in
   Runtime.run
     ~max_rounds:(repeats * (timeout + 2))
-    ?faults
+    ?faults ?tracer
     ~rng_of:(fun u -> Rand_plan.node_stream plan ~stage ~node:u)
     view prog
 
-let run_fair_tree ?repeats ?timeout ?faults ?gamma view plan =
+let run_fair_tree ?repeats ?timeout ?faults ?tracer ?gamma view plan =
   let n = Mis_graph.View.n view in
   let repeats = match repeats with Some r -> r | None -> 3 in
   let gamma =
@@ -113,6 +119,6 @@ let run_fair_tree ?repeats ?timeout ?faults ?gamma view plan =
   Runtime.run
     ~max_rounds:(repeats * (timeout + 2))
     ~size_bits:(Fair_tree_distributed.message_bits ~n)
-    ?faults
+    ?faults ?tracer
     ~rng_of:(fun u -> Rand_plan.node_stream plan ~stage:99 ~node:u)
     view prog

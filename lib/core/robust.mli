@@ -48,6 +48,7 @@ val run_luby :
   ?repeats:int ->
   ?timeout:int ->
   ?faults:Mis_sim.Fault.t ->
+  ?tracer:Mis_obs.Trace.sink ->
   ?stage:int ->
   Mis_graph.View.t ->
   Rand_plan.t ->
@@ -59,6 +60,7 @@ val run_fair_tree :
   ?repeats:int ->
   ?timeout:int ->
   ?faults:Mis_sim.Fault.t ->
+  ?tracer:Mis_obs.Trace.sink ->
   ?gamma:int ->
   Mis_graph.View.t ->
   Rand_plan.t ->

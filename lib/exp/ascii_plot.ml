@@ -1,3 +1,39 @@
+(* Eight block glyphs from lowest to full. *)
+let spark_glyphs = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                      "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                      "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline ?(width = 60) values =
+  let n = Array.length values in
+  if n = 0 || width < 1 then ""
+  else begin
+    let cols = min width n in
+    (* Max-pooling preserves spikes, which is what a messages-per-round
+       profile is read for. *)
+    let pooled =
+      Array.init cols (fun c ->
+        let lo = c * n / cols in
+        let hi = max (lo + 1) ((c + 1) * n / cols) in
+        let m = ref values.(lo) in
+        for i = lo + 1 to hi - 1 do
+          if values.(i) > !m then m := values.(i)
+        done;
+        !m)
+    in
+    let vmax = Array.fold_left max 0. pooled in
+    let buf = Buffer.create (3 * cols) in
+    Array.iter
+      (fun v ->
+        let level =
+          if vmax <= 0. || v <= 0. then 0
+          else
+            min 7 (int_of_float (Float.round (v /. vmax *. 7.)))
+        in
+        Buffer.add_string buf spark_glyphs.(level))
+      pooled;
+    Buffer.contents buf
+  end
+
 type series = {
   label : char;
   name : string;

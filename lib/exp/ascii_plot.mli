@@ -1,4 +1,12 @@
-(** Minimal ASCII line plots for the CDF panels of Figure 4. *)
+(** Minimal ASCII line plots for the CDF panels of Figure 4, and a
+    one-line sparkline for per-round trace profiles. *)
+
+val sparkline : ?width:int -> float array -> string
+(** One line of block glyphs (▁▂▃▄▅▆▇█), one column per value, scaled so
+    the maximum fills the column. Values are expected non-negative.
+    Series longer than [width] (default 60) are max-pooled down to
+    [width] columns so spikes survive the compression. Empty input gives
+    the empty string. *)
 
 type series = {
   label : char;  (** Plot glyph. *)

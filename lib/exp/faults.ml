@@ -98,12 +98,38 @@ let tree_of (params : params) =
     (Splitmix.of_seed (params.seed + 0xF417))
     ~n:params.n
 
-let measure (params : params) =
+(* Metrics are updated only here on the coordinating domain, never inside
+   the parallel tasks, so the registry needs no synchronization. *)
+let record_cell_metrics reg (c : cell) =
+  let open Mis_obs.Metrics in
+  incr ~by:c.trials (counter reg "faults.runs");
+  incr ~by:c.valid (counter reg "faults.valid_runs");
+  observe (histogram reg "faults.mean_rounds") c.mean_rounds;
+  observe (histogram reg "faults.mean_dropped") c.mean_dropped;
+  set
+    (gauge reg
+       (Printf.sprintf "faults.factor/%s/drop=%.2f" c.algorithm c.drop))
+    c.factor
+
+let measure ?metrics (params : params) =
   if params.trials < 1 then invalid_arg "Faults.measure: trials";
   let view = View.full (tree_of params) in
   List.concat_map
     (fun algo ->
-      List.map (fun drop -> measure_cell ~params view algo ~drop) params.rates)
+      List.map
+        (fun drop ->
+          let cell () = measure_cell ~params view algo ~drop in
+          match metrics with
+          | None -> cell ()
+          | Some reg ->
+            let c =
+              Mis_obs.Metrics.time
+                (Mis_obs.Metrics.timer reg "faults.cell_seconds")
+                cell
+            in
+            record_cell_metrics reg c;
+            c)
+        params.rates)
     (algorithms ~repeats:params.repeats)
 
 let rows cells =
@@ -129,7 +155,12 @@ let run_params (params : params) =
     "== faults: fairness under message loss (random tree n=%d, %d trials, \
      repeats=%d, seed=%d)\n"
     params.n params.trials params.repeats params.seed;
-  let cells = measure params in
+  let metrics = Mis_obs.Metrics.create () in
+  let cells =
+    Mis_obs.Metrics.time
+      (Mis_obs.Metrics.timer metrics "faults.total_seconds")
+      (fun () -> measure ~metrics params)
+  in
   Table.print ~header (rows cells);
   (match params.csv with
   | Some path ->
@@ -146,7 +177,14 @@ let run_params (params : params) =
              Table.float_cell c.factor; Printf.sprintf "%.6f" c.min_freq;
              Printf.sprintf "%.6f" c.max_freq ])
          cells);
-    Printf.printf "csv written to %s\n" path
+    Printf.printf "csv written to %s\n" path;
+    let mpath = path ^ ".metrics.json" in
+    let oc = open_out mpath in
+    output_string oc
+      (Mis_obs.Metrics.to_json (Mis_obs.Metrics.snapshot metrics));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "metrics written to %s\n" mpath
   | None -> ());
   print_newline ()
 

@@ -33,12 +33,18 @@ type cell = {
   max_freq : float;
 }
 
-val measure : params -> cell list
+val measure : ?metrics:Mis_obs.Metrics.t -> params -> cell list
 (** All algorithm × rate cells, each estimated with
-    {!Mis_stats.Parallel.map_reduce} across domains. *)
+    {!Mis_stats.Parallel.map_reduce} across domains. With [metrics], each
+    cell additionally records wall-clock ([faults.cell_seconds]), run and
+    validity counters, round/drop histograms and a per-cell
+    [faults.factor/<alg>/drop=<r>] gauge — all updated on the
+    coordinating domain only. *)
 
 val run_params : params -> unit
-(** [measure], rendered as a table (and CSV when requested). *)
+(** [measure], rendered as a table (and CSV when requested). When a CSV
+    path is given, a metrics snapshot is also written next to it as
+    [<path>.metrics.json]. *)
 
 val run : Config.t -> unit
 (** Registry entry point: {!default_params} scaled by the config's trial

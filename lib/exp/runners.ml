@@ -41,6 +41,49 @@ let color_mis_greedy =
           ~coloring:coloring.Fairmis.Distributed_coloring.colors
           ~k:coloring.Fairmis.Distributed_coloring.palette plan) }
 
+type traced = {
+  t_name : string;
+  t_display : string;
+  t_run :
+    Mis_graph.View.t ->
+    seed:int ->
+    tracer:Mis_obs.Trace.sink ->
+    Mis_sim.Runtime.outcome;
+}
+
+let traced =
+  [ { t_name = "luby"; t_display = "Luby's";
+      t_run =
+        (fun view ~seed ~tracer ->
+          Fairmis.Luby.run_distributed ~tracer view (Rand_plan.make seed)) };
+    { t_name = "luby-degree"; t_display = "Luby-A(degree)";
+      t_run =
+        (fun view ~seed ~tracer ->
+          Fairmis.Luby_degree.run_distributed ~tracer view
+            (Rand_plan.make seed)) };
+    { t_name = "fairtree"; t_display = "FairTree";
+      t_run =
+        (fun view ~seed ~tracer ->
+          Fairmis.Fair_tree_distributed.run ~tracer view (Rand_plan.make seed)) };
+    { t_name = "fairbipart"; t_display = "FairBipart";
+      t_run =
+        (fun view ~seed ~tracer ->
+          Fairmis.Fair_bipart_distributed.run ~tracer view
+            (Rand_plan.make seed)) };
+    { t_name = "colormis"; t_display = "ColorMIS(greedy)";
+      t_run =
+        (fun view ~seed ~tracer ->
+          let plan = Rand_plan.make seed in
+          let coloring =
+            Fairmis.Distributed_coloring.randomized_greedy view plan
+          in
+          Fairmis.Color_mis_distributed.run ~tracer view
+            ~coloring:coloring.Fairmis.Distributed_coloring.colors
+            ~k:coloring.Fairmis.Distributed_coloring.palette plan) } ]
+
+let find_traced name =
+  List.find_opt (fun t -> t.t_name = name) traced
+
 let measure cfg view runner =
   Mis_stats.Montecarlo.estimate
     ~check:(fun mis -> Fairmis.Mis.verify ~name:runner.name view mis)

@@ -16,6 +16,29 @@ val color_mis_greedy : t
     graph (the coloring is recomputed each run, as a distributed execution
     would). *)
 
+(** {1 Traced runners}
+
+    Adapters over the simulator-backed implementations that accept a
+    {!Mis_obs.Trace.sink} and return the full {!Mis_sim.Runtime.outcome}
+    (the plain {!t} runners only return the membership mask). Used by the
+    [fairmis_cli trace] subcommand. *)
+
+type traced = {
+  t_name : string;  (** CLI key, matching the [run] subcommand's names. *)
+  t_display : string;
+  t_run :
+    Mis_graph.View.t ->
+    seed:int ->
+    tracer:Mis_obs.Trace.sink ->
+    Mis_sim.Runtime.outcome;
+}
+
+val traced : traced list
+(** [luby], [luby-degree], [fairtree], [fairbipart] and [colormis] (over
+    the randomized greedy coloring). *)
+
+val find_traced : string -> traced option
+
 val measure :
   Config.t -> Mis_graph.View.t -> t -> Mis_stats.Empirical.t
 (** Monte Carlo with per-run MIS validation. *)

@@ -1,0 +1,25 @@
+(** Minimal JSON emission (no parser): values are built directly as
+    strings, so the observability layer needs no external dependency.
+    Emission is deterministic — fields appear exactly in the order given —
+    which lets tests pin serialized traces byte for byte. *)
+
+type t = string
+(** A serialized JSON value. *)
+
+val str : string -> t
+(** String literal with the mandatory escapes (quotes, backslash,
+    control characters as [\uXXXX]). *)
+
+val int : int -> t
+val bool : bool -> t
+
+val float : float -> t
+(** Shortest round-trip representation; [nan]/[inf] (not representable in
+    JSON) are emitted as [null]. *)
+
+val null : t
+
+val obj : (string * t) list -> t
+(** Object with the fields in the given order. *)
+
+val arr : t list -> t

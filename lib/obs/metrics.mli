@@ -1,0 +1,85 @@
+(** Named-metric registry: counters, gauges, fixed-bucket histograms and
+    wall-clock timers, with a deterministic snapshot / JSON export.
+
+    A registry is a flat namespace of metrics. Registration is idempotent:
+    asking twice for the same name and kind returns the same instrument;
+    asking for an existing name with a different kind raises
+    [Invalid_argument]. Instruments are plain mutable cells — updating one
+    is a few machine instructions, cheap enough for per-round use in the
+    simulator and the experiment runners.
+
+    Timers accumulate [Unix.gettimeofday] deltas (the monotonic concerns
+    of a benchmark harness are out of scope here — Bechamel owns those;
+    these timers are for coarse phase accounting in experiments and the
+    bench trace file). *)
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : t -> string -> counter
+val incr : ?by:int -> counter -> unit
+
+val counter_value : counter -> int
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms} *)
+
+type histogram
+
+val default_buckets : float array
+(** Powers of two, [1 .. 65536]. *)
+
+val histogram : t -> ?buckets:float array -> string -> histogram
+(** Fixed upper-bound buckets (a value [v] lands in the first bucket with
+    [v <= bound]; larger values land in the implicit overflow bucket).
+    [buckets] must be strictly increasing and is ignored when the
+    histogram already exists.
+    @raise Invalid_argument on an empty or non-increasing bucket list. *)
+
+val observe : histogram -> float -> unit
+
+val observe_int : histogram -> int -> unit
+
+(** {1 Timers} *)
+
+type timer
+
+val timer : t -> string -> timer
+
+val time : timer -> (unit -> 'a) -> 'a
+(** Run the thunk, adding its wall-clock duration (and one call) to the
+    timer; exceptions propagate after the time is recorded. *)
+
+val timer_seconds : timer -> float
+val timer_calls : timer -> int
+
+(** {1 Snapshots} *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** A deep copy of every instrument's current value, sorted by name. *)
+
+val to_json : snapshot -> Json.t
+(** Deterministic object
+    [{"counters":{..},"gauges":{..},"histograms":{..},"timers":{..}}] with
+    names sorted; histograms carry [buckets], [counts] (one longer than
+    [buckets]: the last entry is the overflow bucket), [count], [sum],
+    [min] and [max]. *)
+
+val find_counter : snapshot -> string -> int option
+val find_gauge : snapshot -> string -> float option
+(** Test helpers: look a value up in a snapshot. *)

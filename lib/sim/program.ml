@@ -1,6 +1,7 @@
 type 'm action =
   | Broadcast of 'm
   | Send of int * 'm
+  | Probe of string * int
 
 type ('s, 'm) status =
   | Continue of 's

@@ -6,6 +6,11 @@
 type 'm action =
   | Broadcast of 'm  (** Send to every neighbor. *)
   | Send of int * 'm  (** [Send (neighbor_id, payload)]. *)
+  | Probe of string * int
+      (** [Probe (key, value)]: observability annotation. Sends nothing
+          and never affects the execution; when the runtime runs with a
+          tracer it surfaces as a {!Mis_obs.Trace.event} [Annotate],
+          otherwise it is ignored. *)
 
 type ('s, 'm) status =
   | Continue of 's

@@ -1,4 +1,13 @@
 module View = Mis_graph.View
+module Trace = Mis_obs.Trace
+
+type round_stat = {
+  rs_messages : int;
+  rs_dropped : int;
+  rs_delayed : int;
+  rs_decided : int;
+  rs_crashed : int;
+}
 
 type outcome = {
   output : bool array;
@@ -9,13 +18,14 @@ type outcome = {
   dropped : int;
   delayed : int;
   crashed : bool array;
+  round_stats : round_stat array;
 }
 
 let ceil_log2 n =
   let rec loop k acc = if acc >= n then k else loop (k + 1) (2 * acc) in
   loop 0 1
 
-let run ?max_rounds ?size_bits ?ids ?(faults = Fault.none) ~rng_of view
+let run ?max_rounds ?size_bits ?ids ?(faults = Fault.none) ?tracer ~rng_of view
     (program : ('s, 'm) Program.t) =
   let n = View.n view in
   let ids = match ids with Some a -> a | None -> Array.init n (fun i -> i) in
@@ -24,6 +34,13 @@ let run ?max_rounds ?size_bits ?ids ?(faults = Fault.none) ~rng_of view
     match max_rounds with
     | Some r -> r
     | None -> 64 + (64 * ceil_log2 (max n 2))
+  in
+  (* The null sink must be indistinguishable from no tracer: both skip
+     event construction entirely (zero-cost guarantee). *)
+  let trace_on, emit =
+    match tracer with
+    | Some s when not (Trace.is_null s) -> (true, s.Trace.emit)
+    | Some _ | None -> (false, ignore)
   in
   let fault_active = not (Fault.is_none faults) in
   let crash_round = Fault.crash_rounds faults ~n in
@@ -83,6 +100,33 @@ let run ?max_rounds ?size_bits ?ids ?(faults = Fault.none) ~rng_of view
   let delayed = ref 0 in
   let max_bits = ref 0 in
   let current_round = ref 0 in
+  (* Per-round accounting: a handful of int bumps per event, always on, so
+     [round_stats] is available without a tracer. Counters are flushed
+     into [stats] at the end of every round (round 0 = the initial step). *)
+  let stats = ref [] in
+  let r_messages = ref 0 in
+  let r_dropped = ref 0 in
+  let r_delayed = ref 0 in
+  let r_decided = ref 0 in
+  let r_crashed = ref 0 in
+  let flush_round_stats () =
+    stats :=
+      { rs_messages = !r_messages; rs_dropped = !r_dropped;
+        rs_delayed = !r_delayed; rs_decided = !r_decided;
+        rs_crashed = !r_crashed }
+      :: !stats;
+    if trace_on then
+      emit
+        (Trace.Round_end
+           { round = !current_round; messages = !r_messages;
+             dropped = !r_dropped; delayed = !r_delayed;
+             decided = !r_decided; crashed = !r_crashed });
+    r_messages := 0;
+    r_dropped := 0;
+    r_delayed := 0;
+    r_decided := 0;
+    r_crashed := 0
+  in
   (* seq distinguishes the drop/delay keys of multiple same-round messages
      on the same directed edge (e.g. a Broadcast plus a Send). *)
   let seq_tbl : (int, int) Hashtbl.t = Hashtbl.create 64 in
@@ -97,11 +141,20 @@ let run ?max_rounds ?size_bits ?ids ?(faults = Fault.none) ~rng_of view
     buffers.(delivery mod delay_slots).(s) <-
       (sender_id, m) :: buffers.(delivery mod delay_slots).(s);
     incr messages;
+    incr r_messages;
     record_size m
+  in
+  let record_drop ~src ~dst reason =
+    incr dropped;
+    incr r_dropped;
+    if trace_on then
+      emit (Trace.Drop { round = !current_round; src; dst; reason })
   in
   let deliver_to ~src ~sender_id v m =
     let s = slot.(v) in
-    if s >= 0 && not decided.(v) then
+    if s >= 0 && not decided.(v) then begin
+      if trace_on then
+        emit (Trace.Send { round = !current_round; src; dst = v });
       if not fault_active then enqueue s (!current_round + 1) sender_id m
       else begin
         let round = !current_round in
@@ -121,18 +174,26 @@ let run ?max_rounds ?size_bits ?ids ?(faults = Fault.none) ~rng_of view
           (not adv_drop) && p > 0.
           && Fault.drop_roll faults ~round ~src ~dst:v ~seq < p
         in
-        if adv_drop || rand_drop then incr dropped
+        if adv_drop then record_drop ~src ~dst:v Trace.Adversary
+        else if rand_drop then record_drop ~src ~dst:v Trace.Random
         else begin
           let d = Fault.delay_roll faults ~round ~src ~dst:v ~seq in
           let delivery = round + 1 + d in
           (* A message reaching a node at or after its crash round is lost. *)
-          if crash_round.(v) <= delivery then incr dropped
+          if crash_round.(v) <= delivery then
+            record_drop ~src ~dst:v Trace.Crashed_dst
           else begin
             enqueue s delivery sender_id m;
-            if d > 0 then incr delayed
+            if d > 0 then begin
+              incr delayed;
+              incr r_delayed;
+              if trace_on then
+                emit (Trace.Delay { round; src; dst = v; delay = d })
+            end
           end
         end
       end
+    end
   in
   let perform s actions =
     let u = active.(s) in
@@ -152,7 +213,11 @@ let run ?max_rounds ?size_bits ?ids ?(faults = Fault.none) ~rng_of view
             invalid_arg
               (Printf.sprintf "Runtime.run(%s): send to non-neighbor id %d"
                  program.Program.name target_id)
-        end)
+        end
+        | Program.Probe (key, value) ->
+          if trace_on then
+            emit
+              (Trace.Annotate { round = !current_round; node = u; key; value }))
       actions
   in
   let undecided = ref (Array.length active) in
@@ -164,10 +229,18 @@ let run ?max_rounds ?size_bits ?ids ?(faults = Fault.none) ~rng_of view
              committed and announced. *)
           if crash_round.(u) = r && not (crashed.(u) || decided.(u)) then begin
             crashed.(u) <- true;
-            decr undecided
+            decr undecided;
+            incr r_crashed;
+            if trace_on then emit (Trace.Crash { round = r; node = u })
           end)
         active
   in
+  if trace_on then begin
+    emit
+      (Trace.Run_begin
+         { program = program.Program.name; n; active = Array.length active });
+    emit (Trace.Round_begin { round = 0 })
+  end;
   Array.iteri
     (fun s u ->
       let state, actions = program.Program.init ctx.(s) in
@@ -175,11 +248,13 @@ let run ?max_rounds ?size_bits ?ids ?(faults = Fault.none) ~rng_of view
       if crash_round.(u) > 0 then perform s actions)
     active;
   crash_events_at 0;
+  flush_round_stats ();
   let rounds = ref 0 in
   while !undecided > 0 && !rounds < max_rounds do
     incr rounds;
     let r = !rounds in
     current_round := r;
+    if trace_on then emit (Trace.Round_begin { round = r });
     crash_events_at r;
     if fault_active then Hashtbl.reset seq_tbl;
     let buf = buffers.(r mod delay_slots) in
@@ -194,6 +269,14 @@ let run ?max_rounds ?size_bits ?ids ?(faults = Fault.none) ~rng_of view
           match states.(s) with
           | None -> assert false
           | Some state ->
+            if trace_on then begin
+              match inbox.(s) with
+              | [] -> ()
+              | msgs ->
+                emit
+                  (Trace.Recv
+                     { round = r; node = u; messages = List.length msgs })
+            end;
             let status, actions = program.Program.receive ctx.(s) state inbox.(s) in
             perform s actions;
             (match status with
@@ -201,10 +284,23 @@ let run ?max_rounds ?size_bits ?ids ?(faults = Fault.none) ~rng_of view
             | Program.Output b ->
               output.(u) <- b;
               decided.(u) <- true;
-              decr undecided)
+              decr undecided;
+              incr r_decided;
+              if trace_on then
+                emit (Trace.Decide { round = r; node = u; in_mis = b }))
         end)
-      active
+      active;
+    flush_round_stats ()
   done;
+  let decided_total =
+    Array.fold_left (fun a b -> if b then a + 1 else a) 0 decided
+  in
+  if trace_on then
+    emit
+      (Trace.Run_end
+         { rounds = !rounds; messages = !messages; dropped = !dropped;
+           delayed = !delayed; decided = decided_total });
+  let round_stats = Array.of_list (List.rev !stats) in
   { output; decided; rounds = !rounds; messages = !messages;
     max_message_bits = !max_bits; dropped = !dropped; delayed = !delayed;
-    crashed }
+    crashed; round_stats }

@@ -10,7 +10,23 @@
     messages can be dropped (randomly or adversarially) or delayed a
     bounded number of rounds, and nodes can crash-stop on a schedule. All
     fault decisions are keyed deterministic draws, so a faulty run is
-    reproducible from the program seed and the plan alone. *)
+    reproducible from the program seed and the plan alone.
+
+    An optional {!Mis_obs.Trace.sink} tracer receives a structured event
+    stream (round boundaries, every message and its fault disposition,
+    receives, decisions, crashes, program [Probe] annotations). With no
+    tracer — or with {!Mis_obs.Trace.null}, recognized by identity — no
+    event is even constructed and the execution is bit-identical to the
+    untraced runtime. Independently of tracing, per-round aggregates are
+    always collected into [outcome.round_stats]. *)
+
+type round_stat = {
+  rs_messages : int;  (** Messages sent (and enqueued) this round. *)
+  rs_dropped : int;  (** Messages lost this round. *)
+  rs_delayed : int;  (** Messages sent this round that will arrive late. *)
+  rs_decided : int;  (** Nodes that produced their [Output] this round. *)
+  rs_crashed : int;  (** Nodes that crash-stopped this round. *)
+}
 
 type outcome = {
   output : bool array;
@@ -29,6 +45,10 @@ type outcome = {
       (** Nodes that crash-stopped during the run (before deciding the
           flag matters; a crash after [Output] is a no-op). All-[false]
           on a perfect network. *)
+  round_stats : round_stat array;
+      (** Per-round aggregates, index = round number; entry 0 covers the
+          initial step (round 0), so the length is [rounds + 1]. Sums
+          across rounds equal the corresponding totals above. *)
 }
 
 val run :
@@ -36,6 +56,7 @@ val run :
   ?size_bits:('m -> int) ->
   ?ids:int array ->
   ?faults:Fault.t ->
+  ?tracer:Mis_obs.Trace.sink ->
   rng_of:(int -> Mis_util.Splitmix.t) ->
   Mis_graph.View.t ->
   ('s, 'm) Program.t ->
@@ -55,6 +76,14 @@ val run :
     step from round [r] on (round 0 = the initial step); undelivered
     messages to it count as dropped, and the run terminates once every
     non-crashed active node has decided.
+
+    [tracer] (default none) receives the structured event stream of the
+    execution, in order: [Run_begin]; then per round [Round_begin],
+    [Crash], [Recv], [Send] / [Drop] / [Delay], [Annotate], [Decide],
+    [Round_end]; finally [Run_end]. Event node fields are node {e
+    indices}. The stream contains no wall-clock component, so for a fixed
+    seed and plan it is reproducible byte for byte. Passing
+    {!Mis_obs.Trace.null} is equivalent to passing nothing.
 
     @raise Invalid_argument if [ids] contains duplicates among active
     nodes, if a program sends to an id that is not its neighbor, or if the
