@@ -128,6 +128,23 @@ let run_experiment ~metrics cfg id =
     exit 2
 
 let trace_path = "BENCH_trace.json"
+let history_path = "BENCH_history.jsonl"
+
+(* Timing runs also append a schema-versioned history entry, the input
+   to `fairmis_cli bench-diff` regression tracking. *)
+let append_history ~cfg timing =
+  if timing <> [] then begin
+    let entry =
+      Mis_obs.Bench_history.make ~timestamp:(Unix.time ())
+        ~config:(Mis_exp.Config.describe cfg)
+        (List.map
+           (fun (name, ns) ->
+             { Mis_obs.Bench_history.workload = name; ns_per_run = ns })
+           timing)
+    in
+    Mis_obs.Bench_history.append ~path:history_path entry;
+    Printf.printf "bench history appended to %s\n" history_path
+  end
 
 let write_bench_trace ~cfg ~timing metrics =
   let snap = Metrics.snapshot metrics in
@@ -172,7 +189,9 @@ let () =
       (fun e -> run_experiment ~metrics cfg e.Mis_exp.Registry.id)
       Mis_exp.Registry.all;
     let timing = run_timing () in
-    write_bench_trace ~cfg ~timing metrics
+    append_history ~cfg timing;
+    write_bench_trace ~cfg ~timing metrics;
+    Mis_obs.Prof.print_report stderr
   | ids ->
     let timing = ref [] in
     List.iter
@@ -180,4 +199,6 @@ let () =
         if id = "timing" then timing := run_timing ()
         else run_experiment ~metrics cfg id)
       ids;
-    write_bench_trace ~cfg ~timing:!timing metrics
+    append_history ~cfg !timing;
+    write_bench_trace ~cfg ~timing:!timing metrics;
+    Mis_obs.Prof.print_report stderr

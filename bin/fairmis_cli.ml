@@ -245,7 +245,51 @@ let measure_cmd =
   Cmd.v (Cmd.info "measure" ~doc)
     Term.(const run $ alg_arg $ spec_arg1 $ seed_arg $ trials $ domains $ csv)
 
-(* trace *)
+(* trace / analyze — shared replay plumbing *)
+
+module Replay = Mis_obs.Replay
+
+let count_true a = Array.fold_left (fun n b -> if b then n + 1 else n) 0 a
+
+(* The outcome-side counters a replayed trace must reproduce. *)
+let outcome_checks (s : Replay.summary) (o : Mis_sim.Runtime.outcome) =
+  let open Mis_sim.Runtime in
+  [ ("rounds", s.Replay.rounds, o.rounds);
+    ("delivered messages", s.Replay.delivered, o.messages);
+    ("dropped", s.Replay.dropped, o.dropped);
+    ("delayed", s.Replay.delayed, o.delayed);
+    ("decided", s.Replay.decided, count_true o.decided);
+    ("crashed", s.Replay.crashed, count_true o.crashed);
+    ("joined", count_true s.Replay.in_mis, count_true o.output);
+    ("rounds recorded", Array.length s.Replay.round_stats,
+     Array.length o.round_stats) ]
+
+let reconcile_with_outcome s o =
+  let bad = List.filter (fun (_, got, want) -> got <> want) (outcome_checks s o) in
+  List.iter
+    (fun (what, got, want) ->
+      Printf.eprintf "replay mismatch: %s — trace says %d, outcome says %d\n"
+        what got want)
+    bad;
+  bad = []
+
+let print_summary ~width (s : Replay.summary) =
+  Printf.printf
+    "%s: n=%d active=%d rounds=%d%s\n"
+    s.Replay.program s.Replay.n s.Replay.active s.Replay.rounds
+    (if s.Replay.complete then "" else " (incomplete: undecided nodes remain)");
+  Printf.printf
+    "events: %d sends (%d delivered, %d dropped, %d delayed), %d received, \
+     %d decided (%d joined), %d crashed, %d annotations\n"
+    s.Replay.sends s.Replay.delivered s.Replay.dropped s.Replay.delayed
+    s.Replay.received s.Replay.decided
+    (count_true s.Replay.in_mis)
+    s.Replay.crashed s.Replay.annotations;
+  Printf.printf "messages/round  %s\n"
+    (Mis_exp.Ascii_plot.sparkline ~width
+       (Array.map
+          (fun rs -> float_of_int rs.Replay.r_messages)
+          s.Replay.round_stats))
 
 let trace_cmd =
   let doc =
@@ -260,7 +304,13 @@ let trace_cmd =
   let width =
     Arg.(value & opt int 60 & info [ "width" ] ~doc:"Sparkline width.")
   in
-  let run alg spec seed out width =
+  let analyze =
+    Arg.(value & flag
+        & info [ "analyze" ]
+            ~doc:"Replay the written JSONL through the invariant validator \
+                  and reconcile it with the recorded outcome.")
+  in
+  let run alg spec seed out width analyze =
     let tr =
       match Mis_exp.Runners.find_traced alg with
       | Some t -> t
@@ -287,9 +337,7 @@ let trace_cmd =
     in
     let open Mis_sim.Runtime in
     Fairmis.Mis.verify ~name:alg view o.output;
-    let size =
-      Array.fold_left (fun a b -> if b then a + 1 else a) 0 o.output
-    in
+    let size = count_true o.output in
     Printf.printf
       "%s on %s (seed %d): rounds=%d messages=%d MIS size %d / %d — valid\n"
       tr.Mis_exp.Runners.t_display spec seed o.rounds o.messages size
@@ -313,35 +361,184 @@ let trace_cmd =
     Printf.printf
       "events: %d total (send %d, recv %d, decide %d, annotate %d)\n" total
       (count "send") (count "recv") (count "decide") (count "annotate");
-    let decided_total =
-      Array.fold_left (fun a b -> if b then a + 1 else a) 0 o.decided
-    in
-    let checks =
-      [ ("send = delivered + dropped", count "send", o.messages + o.dropped);
-        ("drop", count "drop", o.dropped);
-        ("delay", count "delay", o.delayed);
-        ("decide", count "decide", decided_total);
-        ( "round_end",
-          count "round_end",
-          Array.length o.round_stats ) ]
-    in
-    let bad =
-      List.filter (fun (_, got, want) -> got <> want) checks
-    in
-    if bad = [] then
-      Printf.printf "trace consistent with outcome; jsonl written to %s\n"
-        path
-    else begin
-      List.iter
-        (fun (what, got, want) ->
-          Printf.eprintf "trace mismatch: %s — events say %d, outcome says %d\n"
-            what got want)
-        bad;
-      exit 1
+    Printf.printf "jsonl written to %s\n" path;
+    if analyze then begin
+      match Replay.replay_file path with
+      | Error errors ->
+        List.iter (fun e -> Printf.eprintf "replay error: %s\n" e) errors;
+        exit 1
+      | Ok s ->
+        if reconcile_with_outcome s o then
+          Printf.printf
+            "replay ok: all invariants hold and the trace reconciles with \
+             the outcome\n"
+        else exit 1
     end
   in
   Cmd.v (Cmd.info "trace" ~doc)
-    Term.(const run $ alg_arg $ spec_arg1 $ seed_arg $ out $ width)
+    Term.(const run $ alg_arg $ spec_arg1 $ seed_arg $ out $ width $ analyze)
+
+(* analyze *)
+
+let analyze_cmd =
+  let doc =
+    "Replay JSONL trace files: parse the event stream back into typed \
+     events, validate the runtime's invariants (send/recv conservation, \
+     drop/delay/crash accounting, crash silence, decide partition) and \
+     print the reconstructed statistics."
+  in
+  let files =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"TRACE.jsonl")
+  in
+  let width =
+    Arg.(value & opt int 60 & info [ "width" ] ~doc:"Sparkline width.")
+  in
+  let run files width =
+    let failures = ref 0 in
+    let fairness = ref None in
+    List.iter
+      (fun path ->
+        Printf.printf "-- %s\n" path;
+        match Replay.replay_file path with
+        | Error errors ->
+          incr failures;
+          List.iter (fun e -> Printf.eprintf "replay error: %s\n" e) errors
+        | Ok s ->
+          print_summary ~width s;
+          Printf.printf "replay ok: all invariants hold\n";
+          if List.length files > 1 && s.Replay.complete then begin
+            let acc =
+              match !fairness with
+              | Some acc when Mis_obs.Fairness.n acc = s.Replay.n -> Some acc
+              | Some _ -> None  (* mixed topologies: skip aggregation *)
+              | None ->
+                let acc = Mis_obs.Fairness.create ~n:s.Replay.n in
+                fairness := Some acc;
+                Some acc
+            in
+            match acc with
+            | Some acc -> Mis_obs.Fairness.record acc ~in_mis:s.Replay.in_mis
+            | None -> ()
+          end)
+      files;
+    (match !fairness with
+    | Some acc when Mis_obs.Fairness.runs acc > 1 ->
+      let s = Mis_obs.Fairness.summarize acc in
+      Printf.printf
+        "-- aggregate fairness over %d traces: min P=%.3f max P=%.3f \
+         factor=%s\n"
+        s.Mis_obs.Fairness.runs s.Mis_obs.Fairness.min_freq
+        s.Mis_obs.Fairness.max_freq
+        (Mis_exp.Table.float_cell s.Mis_obs.Fairness.factor)
+    | _ -> ());
+    if !failures > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ files $ width)
+
+(* fairness *)
+
+let fairness_cmd =
+  let doc =
+    "Measure Table I-style inequality factors from trace decide events: \
+     many seeded simulator runs per algorithm, aggregated by a fairness \
+     sink, with an ASCII per-node heatmap and histogram."
+  in
+  let dp = Mis_exp.Fairness_obs.default_params in
+  let n =
+    Arg.(value & opt int dp.Mis_exp.Fairness_obs.n
+        & info [ "n"; "nodes" ] ~doc:"Random-tree size.")
+  in
+  let trials =
+    Arg.(value & opt int dp.Mis_exp.Fairness_obs.trials
+        & info [ "trials" ] ~doc:"Traced runs per algorithm.")
+  in
+  let algs =
+    Arg.(value & opt (list string) dp.Mis_exp.Fairness_obs.algorithms
+        & info [ "algorithms" ] ~doc:"Comma-separated traced algorithms.")
+  in
+  let domains =
+    Arg.(value & opt (some int) None
+        & info [ "domains" ] ~doc:"Parallel domains.")
+  in
+  let csv =
+    Arg.(value & opt (some string) None
+        & info [ "csv" ] ~doc:"Write the summary rows to this CSV file.")
+  in
+  let run n trials algs seed domains csv =
+    if n < 2 then or_die (Error "n must be >= 2");
+    if trials < 1 then or_die (Error "trials must be >= 1");
+    try
+      ignore
+        (Mis_exp.Fairness_obs.run_params
+           { Mis_exp.Fairness_obs.n; trials; seed; algorithms = algs; domains;
+             csv })
+    with Invalid_argument e -> or_die (Error e)
+  in
+  Cmd.v (Cmd.info "fairness" ~doc)
+    Term.(const run $ n $ trials $ algs $ seed_arg $ domains $ csv)
+
+(* bench-diff *)
+
+let bench_diff_cmd =
+  let doc =
+    "Compare bench-history entries and flag per-workload timing deltas \
+     beyond a noise threshold (nonzero exit on regression, for CI)."
+  in
+  let old_arg =
+    Arg.(required & pos 0 (some string) None
+        & info [] ~docv:"OLD" ~doc:"Baseline history file (JSONL).")
+  in
+  let new_arg =
+    Arg.(value & pos 1 (some string) None
+        & info [] ~docv:"NEW"
+            ~doc:"New history file; defaults to comparing $(i,OLD)'s last \
+                  two entries.")
+  in
+  let threshold =
+    Arg.(value & opt float Mis_obs.Bench_history.default_threshold
+        & info [ "threshold" ]
+            ~doc:"Relative slowdown treated as a regression (0.3 = 30%).")
+  in
+  let report =
+    Arg.(value & opt (some string) None
+        & info [ "report" ] ~doc:"Write the diff report as JSON to this file.")
+  in
+  let run old_path new_path threshold report =
+    if threshold <= 0. then or_die (Error "threshold must be > 0");
+    let module H = Mis_obs.Bench_history in
+    let old_entry, new_entry =
+      match new_path with
+      | Some p -> (or_die (H.last ~path:old_path), or_die (H.last ~path:p))
+      | None -> (
+        match or_die (H.load ~path:old_path) with
+        | a :: (_ :: _ as rest) ->
+          let rec last2 prev = function
+            | [ x ] -> (prev, x)
+            | x :: rest -> last2 x rest
+            | [] -> assert false
+          in
+          last2 a rest
+        | _ ->
+          or_die
+            (Error
+               (Printf.sprintf
+                  "%s has fewer than two entries; pass a NEW history file"
+                  old_path)))
+    in
+    let r = H.diff ~threshold ~old_entry ~new_entry () in
+    print_string (H.render r);
+    (match report with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (H.report_to_json r);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "report written to %s\n" path
+    | None -> ());
+    if H.has_regressions r then exit 1
+  in
+  Cmd.v (Cmd.info "bench-diff" ~doc)
+    Term.(const run $ old_arg $ new_arg $ threshold $ report)
 
 (* faults *)
 
@@ -406,8 +603,12 @@ let experiment_cmd =
 let () =
   let doc = "Fair Maximal Independent Sets — simulator and experiments" in
   let info = Cmd.info "fairmis_cli" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ list_cmd; topo_cmd; run_cmd; measure_cmd; trace_cmd; faults_cmd;
-            experiment_cmd ]))
+  let code =
+    Cmd.eval
+      (Cmd.group info
+         [ list_cmd; topo_cmd; run_cmd; measure_cmd; trace_cmd; analyze_cmd;
+           fairness_cmd; bench_diff_cmd; faults_cmd; experiment_cmd ])
+  in
+  (* FAIRMIS_PROF=1: span tree (wall time + GC work) on stderr. *)
+  Mis_obs.Prof.print_report stderr;
+  exit code

@@ -1,0 +1,121 @@
+module View = Mis_graph.View
+module Splitmix = Mis_util.Splitmix
+module Fairness = Mis_obs.Fairness
+module Prof = Mis_obs.Prof
+module Parallel = Mis_stats.Parallel
+
+type params = {
+  n : int;
+  trials : int;
+  seed : int;
+  algorithms : string list;
+  domains : int option;
+  csv : string option;
+}
+
+let default_params =
+  { n = 500; trials = 1000; seed = 1;
+    algorithms = [ "fairtree"; "luby" ]; domains = None; csv = None }
+
+let tree_of (params : params) =
+  Mis_workload.Trees.random_prufer
+    (Splitmix.of_seed (params.seed + 0xFA1C))
+    ~n:params.n
+
+(* One algorithm: run the simulator-backed program [trials] times, each
+   with a Fairness sink as its tracer, so the join statistics come from
+   the decide events of the trace stream itself. *)
+let measure ~(params : params) view (tr : Runners.traced) =
+  let n = View.n view in
+  Parallel.map_reduce ?domains:params.domains ~tasks:params.trials
+    ~init:(fun () -> Fairness.create ~n)
+    ~task:(fun acc i ->
+      let tracer = Fairness.sink acc in
+      ignore (tr.Runners.t_run view ~seed:(params.seed + i) ~tracer))
+    ~merge:(fun a b ->
+      Fairness.merge a b;
+      a)
+
+let find_algorithms names =
+  List.map
+    (fun name ->
+      match Runners.find_traced name with
+      | Some t -> t
+      | None ->
+        invalid_arg
+          (Printf.sprintf "fairness-obs: %S is not a traced algorithm (known: %s)"
+             name
+             (String.concat ", "
+                (List.map (fun t -> t.Runners.t_name) Runners.traced))))
+    names
+
+let run_params (params : params) =
+  if params.n < 2 then invalid_arg "fairness-obs: n must be >= 2";
+  if params.trials < 1 then invalid_arg "fairness-obs: trials must be >= 1";
+  let algorithms = find_algorithms params.algorithms in
+  Printf.printf
+    "== fairness-obs: inequality factors from trace decide events (random \
+     tree n=%d, %d traced runs per algorithm, seed=%d)\n"
+    params.n params.trials params.seed;
+  let view =
+    Prof.gspan "fairness-obs.setup" (fun () -> View.full (tree_of params))
+  in
+  let measured =
+    List.map
+      (fun tr ->
+        let acc =
+          Prof.gspan ("fairness-obs.runs." ^ tr.Runners.t_name) (fun () ->
+              measure ~params view tr)
+        in
+        (tr, acc, Fairness.summarize acc))
+      algorithms
+  in
+  Prof.gspan "fairness-obs.report" (fun () ->
+      let header =
+        [ "algorithm"; "runs"; "min P"; "max P"; "mean P"; "factor" ]
+      in
+      let rows =
+        List.map
+          (fun (tr, _, s) ->
+            [ tr.Runners.t_display;
+              string_of_int s.Fairness.runs;
+              Printf.sprintf "%.3f" s.Fairness.min_freq;
+              Printf.sprintf "%.3f" s.Fairness.max_freq;
+              Printf.sprintf "%.3f" s.Fairness.mean_freq;
+              Table.float_cell s.Fairness.factor ])
+          measured
+      in
+      Table.print ~header rows;
+      print_newline ();
+      List.iter
+        (fun (tr, acc, _) ->
+          Printf.printf "-- %s\n" tr.Runners.t_display;
+          print_string (Fairness.heatmap acc);
+          print_string (Fairness.histogram acc);
+          print_newline ())
+        measured;
+      match params.csv with
+      | Some path ->
+        Csv.write ~path
+          ~header:
+            [ "algorithm"; "n"; "trials"; "factor"; "min_p"; "max_p"; "mean_p" ]
+          (List.map
+             (fun (tr, _, s) ->
+               [ tr.Runners.t_display; string_of_int params.n;
+                 string_of_int s.Fairness.runs;
+                 Table.float_cell s.Fairness.factor;
+                 Printf.sprintf "%.6f" s.Fairness.min_freq;
+                 Printf.sprintf "%.6f" s.Fairness.max_freq;
+                 Printf.sprintf "%.6f" s.Fairness.mean_freq ])
+             measured);
+        Printf.printf "csv written to %s\n" path
+      | None -> ());
+  List.map (fun (tr, _, s) -> (tr.Runners.t_name, s)) measured
+
+let run (cfg : Config.t) =
+  ignore
+    (run_params
+       { default_params with
+         trials = max default_params.trials (cfg.Config.trials / 2);
+         seed = cfg.Config.seed;
+         domains = cfg.Config.domains })

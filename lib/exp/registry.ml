@@ -37,7 +37,10 @@ let all =
     { id = "convergence"; title = "Factor-estimator bias vs trial count";
       paper_ref = "Sec. IX methodology"; run = Convergence.run };
     { id = "faults"; title = "Fairness under message loss";
-      paper_ref = "Sec. III model, faulty networks (ours)"; run = Faults.run } ]
+      paper_ref = "Sec. III model, faulty networks (ours)"; run = Faults.run };
+    { id = "fairness-obs"; title = "Inequality factors from trace decide events";
+      paper_ref = "Table I via the trace pipeline (ours)";
+      run = Fairness_obs.run } ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
 let ids () = List.map (fun e -> e.id) all

@@ -84,8 +84,13 @@ let traced =
 let find_traced name =
   List.find_opt (fun t -> t.t_name = name) traced
 
+(* Profiling (FAIRMIS_PROF=1): one span per measured runner; validation
+   gets its own child span (recorded on the worker domain that runs it). *)
 let measure cfg view runner =
-  Mis_stats.Montecarlo.estimate
-    ~check:(fun mis -> Fairmis.Mis.verify ~name:runner.name view mis)
-    (Config.montecarlo cfg) view
-    (fun ~seed -> runner.run view ~seed)
+  Mis_obs.Prof.gspan ("measure." ^ runner.name) (fun () ->
+      Mis_stats.Montecarlo.estimate
+        ~check:(fun mis ->
+          Mis_obs.Prof.gspan "validate" (fun () ->
+              Fairmis.Mis.verify ~name:runner.name view mis))
+        (Config.montecarlo cfg) view
+        (fun ~seed -> runner.run view ~seed))

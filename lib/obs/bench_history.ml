@@ -1,0 +1,196 @@
+let schema_version = 1
+
+type test = { workload : string; ns_per_run : float option }
+
+type entry = {
+  schema : int;
+  timestamp : float;
+  config : string;
+  tests : test list;
+}
+
+let make ~timestamp ~config tests =
+  { schema = schema_version; timestamp; config; tests }
+
+let entry_to_json e =
+  Json.obj
+    [ ("schema", Json.int e.schema);
+      ("timestamp", Json.float e.timestamp);
+      ("config", Json.str e.config);
+      ( "tests",
+        Json.arr
+          (List.map
+             (fun t ->
+               Json.obj
+                 [ ("workload", Json.str t.workload);
+                   ( "ns_per_run",
+                     match t.ns_per_run with
+                     | Some v -> Json.float v
+                     | None -> Json.null ) ])
+             e.tests) ) ]
+
+let entry_of_json v =
+  let ( let* ) = Result.bind in
+  let field name get =
+    match Option.bind (Json.find v name) get with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "missing or mistyped field %S" name)
+  in
+  let* schema = field "schema" Json.get_int in
+  if schema > schema_version then
+    Error
+      (Printf.sprintf "entry schema %d is newer than supported %d" schema
+         schema_version)
+  else
+    let* timestamp = field "timestamp" Json.get_float in
+    let* config = field "config" Json.get_string in
+    let* tests = field "tests" Json.get_list in
+    let* tests =
+      List.fold_left
+        (fun acc t ->
+          let* acc = acc in
+          let* workload =
+            match Option.bind (Json.find t "workload") Json.get_string with
+            | Some w -> Ok w
+            | None -> Error "test entry without a workload name"
+          in
+          let ns_per_run = Option.bind (Json.find t "ns_per_run") Json.get_float in
+          Ok ({ workload; ns_per_run } :: acc))
+        (Ok []) tests
+    in
+    Ok { schema; timestamp; config; tests = List.rev tests }
+
+let append ~path e =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (entry_to_json e);
+      output_char oc '\n')
+
+let load ~path =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "%s: no such history file" path)
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let entries = ref [] in
+        let lineno = ref 0 in
+        let error = ref None in
+        (try
+           while !error = None do
+             let line = input_line ic in
+             incr lineno;
+             if String.trim line <> "" then
+               match Result.bind (Json.parse line) entry_of_json with
+               | Ok e -> entries := e :: !entries
+               | Error e ->
+                 error := Some (Printf.sprintf "%s:%d: %s" path !lineno e)
+           done
+         with End_of_file -> ());
+        match !error with
+        | Some e -> Error e
+        | None -> Ok (List.rev !entries))
+  end
+
+let last ~path =
+  match load ~path with
+  | Error e -> Error e
+  | Ok [] -> Error (Printf.sprintf "%s: empty history" path)
+  | Ok entries -> Ok (List.nth entries (List.length entries - 1))
+
+(* --- diff ---------------------------------------------------------------- *)
+
+type delta = {
+  workload : string;
+  old_ns : float;
+  new_ns : float;
+  ratio : float;  (* new / old *)
+}
+
+type report = {
+  threshold : float;
+  compared : int;
+  regressions : delta list;
+  improvements : delta list;
+  missing : string list;
+  added : string list;
+}
+
+let default_threshold = 0.30
+
+let diff ?(threshold = default_threshold) ~old_entry ~new_entry () =
+  if threshold <= 0. then invalid_arg "Bench_history.diff: threshold";
+  let value e w =
+    List.find_map
+      (fun (t : test) -> if t.workload = w then t.ns_per_run else None)
+      e.tests
+  in
+  let names e = List.map (fun (t : test) -> t.workload) e.tests in
+  let old_names = names old_entry and new_names = names new_entry in
+  let missing =
+    List.filter (fun w -> not (List.mem w new_names)) old_names
+  in
+  let added = List.filter (fun w -> not (List.mem w old_names)) new_names in
+  let compared = ref 0 in
+  let regressions = ref [] in
+  let improvements = ref [] in
+  List.iter
+    (fun w ->
+      match (value old_entry w, value new_entry w) with
+      | Some old_ns, Some new_ns when old_ns > 0. ->
+        incr compared;
+        let ratio = new_ns /. old_ns in
+        let d = { workload = w; old_ns; new_ns; ratio } in
+        if ratio > 1. +. threshold then regressions := d :: !regressions
+        else if ratio < 1. /. (1. +. threshold) then
+          improvements := d :: !improvements
+      | _ -> ())
+    old_names;
+  { threshold; compared = !compared;
+    regressions = List.rev !regressions;
+    improvements = List.rev !improvements; missing; added }
+
+let has_regressions r = r.regressions <> []
+
+let delta_to_json d =
+  Json.obj
+    [ ("workload", Json.str d.workload);
+      ("old_ns", Json.float d.old_ns);
+      ("new_ns", Json.float d.new_ns);
+      ("ratio", Json.float d.ratio) ]
+
+let report_to_json r =
+  Json.obj
+    [ ("threshold", Json.float r.threshold);
+      ("compared", Json.int r.compared);
+      ("regressions", Json.arr (List.map delta_to_json r.regressions));
+      ("improvements", Json.arr (List.map delta_to_json r.improvements));
+      ("missing", Json.arr (List.map Json.str r.missing));
+      ("added", Json.arr (List.map Json.str r.added)) ]
+
+let render r =
+  let buf = Buffer.create 512 in
+  let line d tag =
+    Buffer.add_string buf
+      (Printf.sprintf "  %-8s %-36s %10.0f -> %10.0f ns/run  (%+.1f%%)\n" tag
+         d.workload d.old_ns d.new_ns
+         ((d.ratio -. 1.) *. 100.))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "bench-diff: %d workloads compared, threshold %.0f%%: %d regressions, \
+        %d improvements\n"
+       r.compared (100. *. r.threshold)
+       (List.length r.regressions)
+       (List.length r.improvements));
+  List.iter (fun d -> line d "SLOWER") r.regressions;
+  List.iter (fun d -> line d "faster") r.improvements;
+  if r.missing <> [] then
+    Buffer.add_string buf
+      ("  missing in new: " ^ String.concat ", " r.missing ^ "\n");
+  if r.added <> [] then
+    Buffer.add_string buf ("  added in new: " ^ String.concat ", " r.added ^ "\n");
+  Buffer.contents buf

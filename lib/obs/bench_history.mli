@@ -1,0 +1,68 @@
+(** Benchmark history and regression detection.
+
+    Every timing run of the bench harness appends one schema-versioned
+    JSONL entry (timestamp, config description, per-workload ns/run) to
+    [BENCH_history.jsonl]; {!diff} compares two entries and flags
+    per-workload deltas beyond a noise threshold. [fairmis_cli
+    bench-diff] drives this from CI with a nonzero exit on regression. *)
+
+val schema_version : int
+(** Currently 1. Entries with a newer schema are rejected by {!load}. *)
+
+type test = {
+  workload : string;
+  ns_per_run : float option;  (** [None] when the estimator failed. *)
+}
+
+type entry = {
+  schema : int;
+  timestamp : float;  (** Seconds since the epoch. *)
+  config : string;  (** [Mis_exp.Config.describe] of the run. *)
+  tests : test list;
+}
+
+val make : timestamp:float -> config:string -> test list -> entry
+(** An entry carrying the current {!schema_version}. *)
+
+val entry_to_json : entry -> Json.t
+val entry_of_json : Json.value -> (entry, string) result
+
+val append : path:string -> entry -> unit
+(** Append one JSONL line, creating the file if needed. *)
+
+val load : path:string -> (entry list, string) result
+(** All entries, oldest first; blank lines are skipped. Errors carry
+    [path:line]. *)
+
+val last : path:string -> (entry, string) result
+(** The newest entry; errors on a missing or empty file. *)
+
+(** {1 Diff} *)
+
+type delta = {
+  workload : string;
+  old_ns : float;
+  new_ns : float;
+  ratio : float;  (** [new_ns /. old_ns]. *)
+}
+
+type report = {
+  threshold : float;
+  compared : int;
+  regressions : delta list;  (** [ratio > 1 + threshold]. *)
+  improvements : delta list;  (** [ratio < 1 / (1 + threshold)]. *)
+  missing : string list;  (** Workloads only in the old entry. *)
+  added : string list;  (** Workloads only in the new entry. *)
+}
+
+val default_threshold : float
+(** 0.30 — generous, because single-run CI timing is noisy. *)
+
+val diff : ?threshold:float -> old_entry:entry -> new_entry:entry -> unit -> report
+(** Workloads without a ns/run estimate on either side are skipped (they
+    appear in [missing]/[added] instead when absent entirely). *)
+
+val has_regressions : report -> bool
+val report_to_json : report -> Json.t
+val render : report -> string
+(** Human-readable multi-line summary. *)

@@ -1,0 +1,139 @@
+type t = {
+  n : int;
+  joins : int array;
+  mutable runs : int;
+}
+
+let create ~n =
+  if n < 1 then invalid_arg "Fairness.create: n must be >= 1";
+  { n; joins = Array.make n 0; runs = 0 }
+
+let n t = t.n
+let runs t = t.runs
+let joins t = Array.copy t.joins
+
+let record t ~in_mis =
+  if Array.length in_mis <> t.n then
+    invalid_arg "Fairness.record: mask length";
+  Array.iteri (fun u b -> if b then t.joins.(u) <- t.joins.(u) + 1) in_mis;
+  t.runs <- t.runs + 1
+
+let merge a b =
+  if a.n <> b.n then invalid_arg "Fairness.merge: node counts differ";
+  Array.iteri (fun u c -> a.joins.(u) <- a.joins.(u) + c) b.joins;
+  a.runs <- a.runs + b.runs
+
+let sink t =
+  { Trace.emit =
+      (fun ev ->
+        match ev with
+        | Trace.Decide { node; in_mis; _ } ->
+          if in_mis && node >= 0 && node < t.n then
+            t.joins.(node) <- t.joins.(node) + 1
+        | Trace.Run_end _ -> t.runs <- t.runs + 1
+        | _ -> ());
+    flush = ignore }
+
+let frequency t u =
+  if t.runs = 0 then nan else float_of_int t.joins.(u) /. float_of_int t.runs
+
+let frequencies ?mask t =
+  let keep u = match mask with None -> true | Some m -> m.(u) in
+  let acc = ref [] in
+  for u = t.n - 1 downto 0 do
+    if keep u then acc := frequency t u :: !acc
+  done;
+  Array.of_list !acc
+
+type summary = {
+  runs : int;
+  nodes : int;
+  min_freq : float;
+  max_freq : float;
+  mean_freq : float;
+  factor : float;  (** max/min; [infinity] when some node never joined. *)
+  never_joined : int;
+}
+
+let summarize ?mask t =
+  let freqs = frequencies ?mask t in
+  let nodes = Array.length freqs in
+  if t.runs = 0 || nodes = 0 then
+    { runs = t.runs; nodes; min_freq = nan; max_freq = nan; mean_freq = nan;
+      factor = nan; never_joined = nodes }
+  else begin
+    let lo = Array.fold_left Float.min infinity freqs in
+    let hi = Array.fold_left Float.max neg_infinity freqs in
+    let mean = Array.fold_left ( +. ) 0. freqs /. float_of_int nodes in
+    let never =
+      Array.fold_left (fun a f -> if f = 0. then a + 1 else a) 0 freqs
+    in
+    { runs = t.runs; nodes; min_freq = lo; max_freq = hi; mean_freq = mean;
+      factor = (if lo = 0. then infinity else hi /. lo); never_joined = never }
+  end
+
+(* --- rendering ---------------------------------------------------------- *)
+
+let glyphs = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let heatmap ?(width = 64) t =
+  if width < 1 then invalid_arg "Fairness.heatmap: width";
+  let hi =
+    Array.fold_left (fun a c -> max a c) 0 t.joins |> float_of_int
+  in
+  let buf = Buffer.create (4 * t.n) in
+  Buffer.add_string buf
+    (Printf.sprintf "per-node join frequency (n=%d, runs=%d, max P=%s)\n" t.n
+       t.runs
+       (if t.runs = 0 then "-"
+        else Printf.sprintf "%.3f" (hi /. float_of_int t.runs)));
+  let rows = (t.n + width - 1) / width in
+  for row = 0 to rows - 1 do
+    let lo = row * width in
+    Buffer.add_string buf (Printf.sprintf "%6d " lo);
+    for u = lo to min (lo + width - 1) (t.n - 1) do
+      let level =
+        if hi <= 0. then 0
+        else
+          let f = float_of_int t.joins.(u) /. hi in
+          min 7 (int_of_float (Float.round (f *. 7.)))
+      in
+      Buffer.add_string buf glyphs.(level)
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let histogram ?(bins = 10) ?(width = 40) t =
+  if bins < 1 || width < 1 then invalid_arg "Fairness.histogram";
+  let freqs = frequencies t in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun f ->
+      if Float.is_nan f then ()
+      else begin
+        let b = int_of_float (f *. float_of_int bins) in
+        let b = max 0 (min (bins - 1) b) in
+        counts.(b) <- counts.(b) + 1
+      end)
+    freqs;
+  let peak = Array.fold_left max 0 counts in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "join-frequency histogram (%d nodes, %d bins)\n"
+       (Array.length freqs) bins);
+  for b = 0 to bins - 1 do
+    let lo = float_of_int b /. float_of_int bins in
+    let hi = float_of_int (b + 1) /. float_of_int bins in
+    let bar =
+      if peak = 0 then 0 else counts.(b) * width / peak
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  [%.2f,%.2f%c %-*s %d\n" lo hi
+         (if b = bins - 1 then ']' else ')')
+         width
+         (String.make bar '#')
+         counts.(b))
+  done;
+  Buffer.contents buf

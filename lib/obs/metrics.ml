@@ -117,6 +117,11 @@ let time tm f =
       tm.calls <- tm.calls + 1)
     f
 
+let timer_add tm ~seconds ~calls =
+  if seconds < 0. || calls < 0 then invalid_arg "Metrics.timer_add";
+  tm.seconds <- tm.seconds +. seconds;
+  tm.calls <- tm.calls + calls
+
 let timer_seconds tm = tm.seconds
 let timer_calls tm = tm.calls
 

@@ -63,6 +63,10 @@ val time : timer -> (unit -> 'a) -> 'a
 (** Run the thunk, adding its wall-clock duration (and one call) to the
     timer; exceptions propagate after the time is recorded. *)
 
+val timer_add : timer -> seconds:float -> calls:int -> unit
+(** Fold an externally measured duration into the timer (used by
+    {!Prof.to_metrics}). Negative inputs raise [Invalid_argument]. *)
+
 val timer_seconds : timer -> float
 val timer_calls : timer -> int
 

@@ -1,0 +1,482 @@
+(* Parse a serialized trace back into typed events and validate the
+   runtime's invariants against it. See replay.mli for the contract. *)
+
+let spf = Printf.sprintf
+
+(* --- event parsing ------------------------------------------------------ *)
+
+let reason_of_string = function
+  | "random" -> Some Trace.Random
+  | "adversary" -> Some Trace.Adversary
+  | "crashed_dst" -> Some Trace.Crashed_dst
+  | _ -> None
+
+let event_of_json v =
+  let field name get =
+    match Option.bind (Json.find v name) get with
+    | Some x -> Ok x
+    | None -> Error (spf "missing or mistyped field %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let int name = field name Json.get_int in
+  let str name = field name Json.get_string in
+  match Option.bind (Json.find v "type") Json.get_string with
+  | None -> Error "missing or mistyped field \"type\""
+  | Some kind -> (
+    match kind with
+    | "run_begin" ->
+      let* program = str "program" in
+      let* n = int "n" in
+      let* active = int "active" in
+      Ok (Trace.Run_begin { program; n; active })
+    | "round_begin" ->
+      let* round = int "round" in
+      Ok (Trace.Round_begin { round })
+    | "round_end" ->
+      let* round = int "round" in
+      let* messages = int "messages" in
+      let* dropped = int "dropped" in
+      let* delayed = int "delayed" in
+      let* decided = int "decided" in
+      let* crashed = int "crashed" in
+      Ok (Trace.Round_end { round; messages; dropped; delayed; decided; crashed })
+    | "send" ->
+      let* round = int "round" in
+      let* src = int "src" in
+      let* dst = int "dst" in
+      Ok (Trace.Send { round; src; dst })
+    | "drop" ->
+      let* round = int "round" in
+      let* src = int "src" in
+      let* dst = int "dst" in
+      let* reason = str "reason" in
+      let* reason =
+        match reason_of_string reason with
+        | Some r -> Ok r
+        | None -> Error (spf "unknown drop reason %S" reason)
+      in
+      Ok (Trace.Drop { round; src; dst; reason })
+    | "delay" ->
+      let* round = int "round" in
+      let* src = int "src" in
+      let* dst = int "dst" in
+      let* delay = int "delay" in
+      Ok (Trace.Delay { round; src; dst; delay })
+    | "recv" ->
+      let* round = int "round" in
+      let* node = int "node" in
+      let* messages = int "messages" in
+      Ok (Trace.Recv { round; node; messages })
+    | "decide" ->
+      let* round = int "round" in
+      let* node = int "node" in
+      let* in_mis = field "in_mis" Json.get_bool in
+      Ok (Trace.Decide { round; node; in_mis })
+    | "crash" ->
+      let* round = int "round" in
+      let* node = int "node" in
+      Ok (Trace.Crash { round; node })
+    | "annotate" ->
+      let* round = int "round" in
+      let* node = int "node" in
+      let* key = str "key" in
+      let* value = int "value" in
+      Ok (Trace.Annotate { round; node; key; value })
+    | "span_begin" ->
+      let* name = str "name" in
+      Ok (Trace.Span_begin { name })
+    | "span_end" ->
+      let* name = str "name" in
+      let* seconds = field "seconds" Json.get_float in
+      Ok (Trace.Span_end { name; seconds })
+    | "run_end" ->
+      let* rounds = int "rounds" in
+      let* messages = int "messages" in
+      let* dropped = int "dropped" in
+      let* delayed = int "delayed" in
+      let* decided = int "decided" in
+      Ok (Trace.Run_end { rounds; messages; dropped; delayed; decided })
+    | kind -> Error (spf "unknown event type %S" kind))
+
+let parse_line line =
+  match Json.parse line with
+  | Error e -> Error e
+  | Ok v -> event_of_json v
+
+let parse_lines lines =
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      if String.trim line = "" then go (lineno + 1) acc rest
+      else (
+        match parse_line line with
+        | Ok e -> go (lineno + 1) (e :: acc) rest
+        | Error e -> Error (spf "line %d: %s" lineno e))
+  in
+  go 1 [] lines
+
+let parse_string s =
+  parse_lines (String.split_on_char '\n' s)
+
+let of_file path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> ());
+        parse_lines (List.rev !lines))
+
+(* --- replay ------------------------------------------------------------- *)
+
+type round_stat = {
+  r_messages : int;
+  r_dropped : int;
+  r_delayed : int;
+  r_decided : int;
+  r_crashed : int;
+}
+
+type summary = {
+  program : string;
+  n : int;
+  active : int;
+  rounds : int;
+  sends : int;
+  delivered : int;
+  dropped : int;
+  delayed : int;
+  decided : int;
+  crashed : int;
+  received : int;
+  annotations : int;
+  complete : bool;
+  round_stats : round_stat array;
+  decide_round : int array;
+  in_mis : bool array;
+  crash_round : int array;
+}
+
+(* The checks mirror Runtime.run's emission discipline:
+   - stream shape: Run_begin, then per round r = 0.. a Round_begin r /
+     Round_end r pair bracketing that round's events, then Run_end;
+   - per-round accounting: Round_end's counters equal the event counts of
+     the round (messages = sends - drops);
+   - totals: Run_end's counters equal the event sums;
+   - message conservation: every Recv is fed by previously delivered
+     sends — a send at round s without a delay event is delivered at
+     s + 1, with a Delay {delay = d} at s + 1 + d; the inbox size a Recv
+     reports must equal the number of messages delivered to that node at
+     that round, and deliveries may go unreceived only when the node has
+     already decided or the run ended first;
+   - crash silence: a crashed node emits no send/recv/decide/annotate at
+     or after its crash round, and receives nothing from then on;
+   - decides partition: each node decides at most once, never after
+     crashing, and nodes are within [0, n). *)
+
+type check = {
+  mutable errors : string list;  (* newest first *)
+  mutable error_count : int;
+  limit : int;
+}
+
+let err ck fmt =
+  Printf.ksprintf
+    (fun msg ->
+      ck.error_count <- ck.error_count + 1;
+      if ck.error_count <= ck.limit then ck.errors <- msg :: ck.errors)
+    fmt
+
+let replay ?(max_errors = 20) events =
+  let ck = { errors = []; error_count = 0; limit = max_errors } in
+  (* Pass 1: stream shape and the header. *)
+  let program = ref "" in
+  let n = ref 0 in
+  let active = ref 0 in
+  (match events with
+  | Trace.Run_begin { program = p; n = n'; active = a } :: _ ->
+    program := p;
+    n := n';
+    active := a
+  | _ -> err ck "stream must start with run_begin");
+  let run_end = ref None in
+  let in_round = ref None in
+  let last_round = ref (-1) in
+  let seen_run_end = ref false in
+  List.iteri
+    (fun i ev ->
+      if !seen_run_end then err ck "event after run_end (position %d)" i;
+      match ev with
+      | Trace.Run_begin _ ->
+        if i > 0 then err ck "run_begin not at the start (position %d)" i
+      | Trace.Run_end _ ->
+        if !in_round <> None then err ck "run_end inside an open round";
+        seen_run_end := true;
+        run_end := Some ev
+      | Trace.Round_begin { round } ->
+        if !in_round <> None then
+          err ck "round_begin %d inside an open round" round;
+        if round <> !last_round + 1 then
+          err ck "round_begin %d after round %d (rounds must be consecutive)"
+            round !last_round;
+        in_round := Some round
+      | Trace.Round_end { round; _ } ->
+        (match !in_round with
+        | Some r when r = round -> ()
+        | _ -> err ck "round_end %d without a matching round_begin" round);
+        in_round := None;
+        last_round := max !last_round round
+      | Trace.Span_begin _ | Trace.Span_end _ -> ()
+      | Trace.Send { round; _ }
+      | Trace.Drop { round; _ }
+      | Trace.Delay { round; _ }
+      | Trace.Recv { round; _ }
+      | Trace.Decide { round; _ }
+      | Trace.Crash { round; _ }
+      | Trace.Annotate { round; _ } ->
+        (match !in_round with
+        | Some r when r = round -> ()
+        | Some r ->
+          err ck "%s event carries round %d inside round %d" (Trace.kind ev)
+            round r
+        | None ->
+          err ck "%s event (round %d) outside any round" (Trace.kind ev) round))
+    events;
+  if !in_round <> None then err ck "stream ends inside an open round";
+  if not !seen_run_end then err ck "stream must end with run_end";
+  let rounds = !last_round in
+  let n = max 0 !n in
+  (* Pass 2: counts, per-node state, delivery schedule. *)
+  let node_ok u = u >= 0 && u < n in
+  let check_node what round u =
+    if not (node_ok u) then
+      err ck "round %d: %s names node %d outside [0, %d)" round what u n
+  in
+  let decide_round = Array.make n (-1) in
+  let in_mis = Array.make n false in
+  let crash_round = Array.make n max_int in
+  let sends = ref 0 in
+  let drops = ref 0 in
+  let delays = ref 0 in
+  let decides = ref 0 in
+  let crashes = ref 0 in
+  let received = ref 0 in
+  let annotations = ref 0 in
+  let round_stats = ref [] in
+  (* Messages in flight: (delivery_round, dst) -> pending count. *)
+  let pending : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  let schedule ~delivery ~dst by =
+    let key = (delivery, dst) in
+    let c = Option.value ~default:0 (Hashtbl.find_opt pending key) in
+    Hashtbl.replace pending key (c + by)
+  in
+  (* Per round: undelayed deliveries = sends - drops - delays of that
+     round, scheduled at round + 1; each delay reschedules one of them. *)
+  let r_sends = ref 0 in
+  let r_drops = ref 0 in
+  let r_delays = ref 0 in
+  let r_decides = ref 0 in
+  let r_crashes = ref 0 in
+  (* Round-local sends per destination, minus drops, minus delays; the
+     remainder is delivered next round. *)
+  let r_to : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let bump tbl key by =
+    let c = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
+    Hashtbl.replace tbl key (c + by)
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Trace.Run_begin _ | Trace.Round_begin _ | Trace.Run_end _
+      | Trace.Span_begin _ | Trace.Span_end _ -> ()
+      | Trace.Send { round; src; dst } ->
+        check_node "send src" round src;
+        check_node "send dst" round dst;
+        incr sends;
+        incr r_sends;
+        if node_ok src && crash_round.(src) <= round then
+          err ck "round %d: send from node %d, which crashed at round %d"
+            round src crash_round.(src);
+        if node_ok src && decide_round.(src) >= 0 && decide_round.(src) < round
+        then
+          err ck "round %d: send from node %d, which decided at round %d"
+            round src decide_round.(src);
+        if node_ok dst then bump r_to dst 1
+      | Trace.Drop { round; dst; _ } ->
+        check_node "drop dst" round dst;
+        incr drops;
+        incr r_drops;
+        if node_ok dst then bump r_to dst (-1)
+      | Trace.Delay { round; dst; delay; _ } ->
+        check_node "delay dst" round dst;
+        if delay < 1 then err ck "round %d: delay event with delay %d < 1" round delay;
+        incr delays;
+        incr r_delays;
+        if node_ok dst then begin
+          bump r_to dst (-1);
+          schedule ~delivery:(round + 1 + delay) ~dst 1
+        end
+      | Trace.Recv { round; node; messages } ->
+        check_node "recv" round node;
+        received := !received + messages;
+        if messages < 1 then
+          err ck "round %d: recv at node %d with %d messages" round node
+            messages;
+        if node_ok node then begin
+          if crash_round.(node) <= round then
+            err ck "round %d: recv at node %d, which crashed at round %d" round
+              node crash_round.(node);
+          if decide_round.(node) >= 0 && decide_round.(node) < round then
+            err ck "round %d: recv at node %d, which decided at round %d" round
+              node decide_round.(node);
+          let key = (round, node) in
+          let expected =
+            Option.value ~default:0 (Hashtbl.find_opt pending key)
+          in
+          if expected <> messages then
+            err ck
+              "round %d: recv at node %d reports %d messages but %d were \
+               delivered"
+              round node messages expected;
+          Hashtbl.remove pending key
+        end
+      | Trace.Decide { round; node; in_mis = b } ->
+        check_node "decide" round node;
+        incr decides;
+        incr r_decides;
+        if node_ok node then begin
+          if decide_round.(node) >= 0 then
+            err ck "round %d: node %d decides again (first at round %d)" round
+              node decide_round.(node)
+          else begin
+            decide_round.(node) <- round;
+            in_mis.(node) <- b
+          end;
+          if crash_round.(node) <= round then
+            err ck "round %d: decide at node %d, which crashed at round %d"
+              round node crash_round.(node)
+        end
+      | Trace.Crash { round; node } ->
+        check_node "crash" round node;
+        incr crashes;
+        incr r_crashes;
+        if node_ok node then begin
+          if crash_round.(node) < max_int then
+            err ck "round %d: node %d crashes again (first at round %d)" round
+              node crash_round.(node)
+          else if decide_round.(node) >= 0 then
+            err ck "round %d: crash at node %d after it decided (round %d)"
+              round node decide_round.(node)
+          else crash_round.(node) <- round
+        end
+      | Trace.Annotate { round; node; _ } ->
+        check_node "annotate" round node;
+        incr annotations;
+        if node_ok node && crash_round.(node) <= round then
+          err ck "round %d: annotate at node %d, which crashed at round %d"
+            round node crash_round.(node)
+      | Trace.Round_end { round; messages; dropped; delayed; decided; crashed }
+        ->
+        let delivered = !r_sends - !r_drops in
+        if messages <> delivered then
+          err ck
+            "round %d: round_end reports %d delivered messages but events \
+             show %d sends - %d drops = %d"
+            round messages !r_sends !r_drops delivered;
+        if dropped <> !r_drops then
+          err ck "round %d: round_end reports %d dropped but events show %d"
+            round dropped !r_drops;
+        if delayed <> !r_delays then
+          err ck "round %d: round_end reports %d delayed but events show %d"
+            round delayed !r_delays;
+        if decided <> !r_decides then
+          err ck "round %d: round_end reports %d decided but events show %d"
+            round decided !r_decides;
+        if crashed <> !r_crashes then
+          err ck "round %d: round_end reports %d crashed but events show %d"
+            round crashed !r_crashes;
+        round_stats :=
+          { r_messages = messages; r_dropped = dropped; r_delayed = delayed;
+            r_decided = decided; r_crashed = crashed }
+          :: !round_stats;
+        (* Undelayed deliveries land next round. *)
+        Hashtbl.iter
+          (fun dst c ->
+            if c < 0 then
+              err ck
+                "round %d: node %d has more drop/delay events than sends" round
+                dst
+            else if c > 0 then schedule ~delivery:(round + 1) ~dst c)
+          r_to;
+        Hashtbl.reset r_to;
+        r_sends := 0;
+        r_drops := 0;
+        r_delays := 0;
+        r_decides := 0;
+        r_crashes := 0)
+    events;
+  (* Unreceived deliveries are legal only if the destination had already
+     decided, had crashed, or the run ended before the delivery round.
+     (Sorted for deterministic error output.) *)
+  Hashtbl.fold (fun k c acc -> (k, c) :: acc) pending []
+  |> List.sort compare
+  |> List.iter (fun ((delivery, dst), c) ->
+         if c > 0 && node_ok dst then begin
+           let decided_first =
+             decide_round.(dst) >= 0 && decide_round.(dst) < delivery
+           in
+           let crashed_first = crash_round.(dst) <= delivery in
+           if delivery <= rounds && not (decided_first || crashed_first) then
+             err ck
+               "round %d: %d messages delivered to node %d were never received"
+               delivery c dst
+         end);
+  (* Totals vs the run_end record. *)
+  (match !run_end with
+  | Some (Trace.Run_end { rounds = r; messages; dropped; delayed; decided }) ->
+    let delivered = !sends - !drops in
+    if r <> rounds then
+      err ck "run_end reports %d rounds but the last round is %d" r rounds;
+    if messages <> delivered then
+      err ck
+        "run_end reports %d delivered messages but events show %d sends - %d \
+         drops = %d"
+        messages !sends !drops delivered;
+    if dropped <> !drops then
+      err ck "run_end reports %d dropped but events show %d" dropped !drops;
+    if delayed <> !delays then
+      err ck "run_end reports %d delayed but events show %d" delayed !delays;
+    if decided <> !decides then
+      err ck "run_end reports %d decided but events show %d" decided !decides
+  | _ -> ());
+  if !decides + !crashes > !active then
+    err ck "%d decides + %d crashes exceed the %d active nodes" !decides
+      !crashes !active;
+  let errors =
+    let listed = List.rev ck.errors in
+    if ck.error_count > ck.limit then
+      listed
+      @ [ spf "(%d further errors suppressed)" (ck.error_count - ck.limit) ]
+    else listed
+  in
+  if errors <> [] then Error errors
+  else
+    Ok
+      { program = !program; n; active = !active; rounds; sends = !sends;
+        delivered = !sends - !drops; dropped = !drops; delayed = !delays;
+        decided = !decides; crashed = !crashes; received = !received;
+        annotations = !annotations;
+        complete = !decides + !crashes = !active;
+        round_stats = Array.of_list (List.rev !round_stats);
+        decide_round; in_mis; crash_round }
+
+let replay_file ?max_errors path =
+  match of_file path with
+  | Error e -> Error [ e ]
+  | Ok events -> replay ?max_errors events

@@ -1,0 +1,79 @@
+(** The read half of the trace pipeline: parse a JSONL stream (the output
+    of {!Trace.jsonl}) back into typed {!Trace.event}s, reconstruct
+    per-round and per-node statistics, and validate the runtime's
+    emission invariants against the recorded stream.
+
+    Checked invariants (see {!replay}):
+    - {b stream shape} — [Run_begin] first, per round a
+      [Round_begin]/[Round_end] pair bracketing that round's events with
+      consecutive round numbers, [Run_end] last;
+    - {b message conservation} — every [Recv] is fed by matching [Send]s:
+      a send at round [s] is delivered at [s + 1] (or [s + 1 + d] with a
+      [Delay]), drops remove exactly one send each, and the inbox size a
+      [Recv] reports equals the number of messages delivered to that node
+      at that round; deliveries may go unreceived only when the node
+      already decided, crashed, or the run ended first;
+    - {b accounting} — every [Round_end]'s and the [Run_end]'s counters
+      equal the per-event sums ([messages = sends - drops]);
+    - {b crash silence} — a crashed node emits no send / recv / decide /
+      annotate at or after its crash round;
+    - {b decide partition} — each node decides at most once, decide and
+      crash node sets are disjoint, and their total never exceeds the
+      active-node count ([complete] records whether they exhaust it). *)
+
+(** {1 Parsing} *)
+
+val event_of_json : Json.value -> (Trace.event, string) result
+(** Typed view of one parsed JSON object. *)
+
+val parse_line : string -> (Trace.event, string) result
+(** Parse one JSONL line. *)
+
+val parse_lines : string list -> (Trace.event list, string) result
+(** Parse a whole stream; blank lines are skipped, errors are prefixed
+    with the 1-based line number. *)
+
+val parse_string : string -> (Trace.event list, string) result
+val of_file : string -> (Trace.event list, string) result
+
+(** {1 Replay} *)
+
+type round_stat = {
+  r_messages : int;
+  r_dropped : int;
+  r_delayed : int;
+  r_decided : int;
+  r_crashed : int;
+}
+
+type summary = {
+  program : string;
+  n : int;
+  active : int;
+  rounds : int;  (** Last round number (= [Run_end.rounds]). *)
+  sends : int;  (** Transmission attempts. *)
+  delivered : int;  (** [sends - dropped]; equals the outcome's
+                        [messages]. *)
+  dropped : int;
+  delayed : int;
+  decided : int;
+  crashed : int;
+  received : int;  (** Total messages reported by [Recv] events. *)
+  annotations : int;
+  complete : bool;  (** [decided + crashed = active]. *)
+  round_stats : round_stat array;  (** Length [rounds + 1] (round 0 is
+                                       the init step). *)
+  decide_round : int array;  (** Per node index; [-1] if undecided. *)
+  in_mis : bool array;  (** Per node index; only meaningful where
+                            [decide_round >= 0]. *)
+  crash_round : int array;  (** Per node index; [max_int] if alive. *)
+}
+
+val replay : ?max_errors:int -> Trace.event list -> (summary, string list) result
+(** Validate the invariants above and reconstruct the summary. On failure
+    returns every violation found in stream order (at most [max_errors],
+    default 20, plus a suppression note). *)
+
+val replay_file : ?max_errors:int -> string -> (summary, string list) result
+(** {!of_file} composed with {!replay}; parse errors come back as a
+    single-element error list. *)

@@ -1,5 +1,6 @@
 module View = Mis_graph.View
 module Trace = Mis_obs.Trace
+module Prof = Mis_obs.Prof
 
 type round_stat = {
   rs_messages : int;
@@ -27,6 +28,10 @@ let ceil_log2 n =
 
 let run ?max_rounds ?size_bits ?ids ?(faults = Fault.none) ?tracer ~rng_of view
     (program : ('s, 'm) Program.t) =
+  (* Profiling spans (FAIRMIS_PROF=1) bracket the two phases of a run:
+     setup (id tables, adjacency copies) and the round loop. Disabled,
+     each is one branch — the unprofiled path stays bit-identical. *)
+  let setup_span = Prof.gstart "runtime.setup" in
   let n = View.n view in
   let ids = match ids with Some a -> a | None -> Array.init n (fun i -> i) in
   if Array.length ids <> n then invalid_arg "Runtime.run: ids length";
@@ -235,6 +240,8 @@ let run ?max_rounds ?size_bits ?ids ?(faults = Fault.none) ?tracer ~rng_of view
           end)
         active
   in
+  Prof.gstop setup_span;
+  let loop_span = Prof.gstart "runtime.rounds" in
   if trace_on then begin
     emit
       (Trace.Run_begin
@@ -292,6 +299,7 @@ let run ?max_rounds ?size_bits ?ids ?(faults = Fault.none) ?tracer ~rng_of view
       active;
     flush_round_stats ()
   done;
+  Prof.gstop loop_span;
   let decided_total =
     Array.fold_left (fun a b -> if b then a + 1 else a) 0 decided
   in

@@ -1,0 +1,678 @@
+(* Tests for the trace-analysis half of the observability layer: the
+   JSON parser (including emit/parse round-trip properties), the replay
+   validator (golden FairTree stream, corrupted streams, faulty runs),
+   the fairness accumulator, the span profiler, and the bench-history
+   comparator. *)
+
+module View = Mis_graph.View
+module Trees = Mis_workload.Trees
+module Fault = Mis_sim.Fault
+module Rand_plan = Fairmis.Rand_plan
+module Json = Mis_obs.Json
+module Trace = Mis_obs.Trace
+module Replay = Mis_obs.Replay
+module Fairness = Mis_obs.Fairness
+module Prof = Mis_obs.Prof
+module Metrics = Mis_obs.Metrics
+module Bench_history = Mis_obs.Bench_history
+
+let ok_or_fail what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+(* --- Json parser -------------------------------------------------------- *)
+
+let test_parse_scalars () =
+  let p s = ok_or_fail ("parse " ^ s) (Json.parse s) in
+  Alcotest.(check bool) "null" true (p "null" = Json.Null);
+  Alcotest.(check bool) "true" true (p "true" = Json.Bool true);
+  Alcotest.(check bool) "false" true (p " false " = Json.Bool false);
+  Alcotest.(check bool) "int" true (p "42" = Json.Int 42);
+  Alcotest.(check bool) "negative" true (p "-7" = Json.Int (-7));
+  Alcotest.(check bool) "float" true (p "1.5" = Json.Float 1.5);
+  Alcotest.(check bool) "exponent" true (p "2e3" = Json.Float 2000.);
+  Alcotest.(check bool) "string" true (p {|"abc"|} = Json.Str "abc");
+  Alcotest.(check bool) "escapes" true
+    (p {|"a\"b\\c\nd\t"|} = Json.Str "a\"b\\c\nd\t");
+  Alcotest.(check bool) "unicode escape" true (p {|"A"|} = Json.Str "A");
+  Alcotest.(check bool) "unicode 2-byte" true
+    (p {|"é"|} = Json.Str "\xc3\xa9");
+  Alcotest.(check bool) "control escape" true (p {|""|} = Json.Str "\001")
+
+let test_parse_structures () =
+  let p s = ok_or_fail ("parse " ^ s) (Json.parse s) in
+  Alcotest.(check bool) "empty arr" true (p "[]" = Json.Arr []);
+  Alcotest.(check bool) "arr" true
+    (p "[1, 2,3]" = Json.Arr [ Json.Int 1; Json.Int 2; Json.Int 3 ]);
+  Alcotest.(check bool) "empty obj" true (p "{}" = Json.Obj []);
+  Alcotest.(check bool) "obj order kept" true
+    (p {|{"b":1,"a":[true,null]}|}
+    = Json.Obj
+        [ ("b", Json.Int 1);
+          ("a", Json.Arr [ Json.Bool true; Json.Null ]) ])
+
+let test_parse_errors () =
+  let fails s =
+    match Json.parse s with
+    | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" s
+    | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error for %S carries offset (%s)" s e)
+        true
+        (String.length e >= 7 && String.sub e 0 7 = "offset ")
+  in
+  List.iter fails
+    [ ""; "{"; "[1,]"; {|{"a":}|}; {|{"a" 1}|}; "tru"; {|"unterminated|};
+      "1 2"; "[1] x"; {|{"a":1,}|}; {|"bad \q escape"|} ]
+
+let test_parse_accessors () =
+  let v = ok_or_fail "parse" (Json.parse {|{"i":3,"f":1.5,"s":"x","b":true,"l":[1]}|}) in
+  Alcotest.(check (option int)) "int" (Some 3)
+    (Option.bind (Json.find v "i") Json.get_int);
+  Alcotest.(check (option (float 0.))) "float" (Some 1.5)
+    (Option.bind (Json.find v "f") Json.get_float);
+  Alcotest.(check (option (float 0.))) "int promotes" (Some 3.)
+    (Option.bind (Json.find v "i") Json.get_float);
+  Alcotest.(check (option string)) "string" (Some "x")
+    (Option.bind (Json.find v "s") Json.get_string);
+  Alcotest.(check (option bool)) "bool" (Some true)
+    (Option.bind (Json.find v "b") Json.get_bool);
+  Alcotest.(check bool) "list" true
+    (Option.bind (Json.find v "l") Json.get_list = Some [ Json.Int 1 ]);
+  Alcotest.(check (option int)) "missing" None
+    (Option.bind (Json.find v "zz") Json.get_int)
+
+(* Generator of JSON values that round-trip exactly: printable-ASCII
+   strings (the emitter escapes them canonically) and exactly
+   representable numbers. *)
+let arb_json_value =
+  let open QCheck in
+  let leaf =
+    Gen.oneof
+      [ Gen.return Json.Null;
+        Gen.map (fun b -> Json.Bool b) Gen.bool;
+        Gen.map (fun i -> Json.Int i) Gen.int;
+        Gen.map (fun f -> Json.Float f) (Gen.map float_of_int Gen.int);
+        Gen.map (fun f -> Json.Float f) Gen.float;
+        Gen.map (fun s -> Json.Str s) Gen.(string_size ~gen:printable (0 -- 12))
+      ]
+  in
+  let gen =
+    Gen.sized (fun size ->
+        Gen.fix
+          (fun self n ->
+            if n = 0 then leaf
+            else
+              Gen.oneof
+                [ leaf;
+                  Gen.map (fun l -> Json.Arr l)
+                    (Gen.list_size (Gen.return (min n 4)) (self (n / 2)));
+                  Gen.map (fun l -> Json.Obj l)
+                    (Gen.list_size (Gen.return (min n 4))
+                       (Gen.pair
+                          Gen.(string_size ~gen:printable (1 -- 6))
+                          (self (n / 2)))) ])
+          (min size 6))
+  in
+  let rec clean v =
+    (* nan / inf emit as null by design; drop them from the property. *)
+    match v with
+    | Json.Float f when not (Float.is_finite f) -> Json.Null
+    | Json.Arr l -> Json.Arr (List.map clean l)
+    | Json.Obj l -> Json.Obj (List.map (fun (k, x) -> (k, clean x)) l)
+    | v -> v
+  in
+  make ~print:(fun v -> Json.emit v) (Gen.map clean gen)
+
+(* emit ∘ parse ∘ emit = emit: the emitted dialect is a fixed point. *)
+let prop_emit_parse_emit v =
+  let s = Json.emit v in
+  match Json.parse s with
+  | Error e -> QCheck.Test.fail_reportf "parse %S failed: %s" s e
+  | Ok v' -> String.equal s (Json.emit v')
+
+(* For int-free floats and non-huge ints the parsed tree itself matches. *)
+let prop_parse_emit_identity v =
+  let s = Json.emit v in
+  match Json.parse s with
+  | Error e -> QCheck.Test.fail_reportf "parse %S failed: %s" s e
+  | Ok v' -> (
+    match Json.parse (Json.emit v') with
+    | Error e -> QCheck.Test.fail_reportf "re-parse failed: %s" e
+    | Ok v'' -> v' = v'')
+
+let test_float_string_roundtrip () =
+  List.iter
+    (fun f ->
+      match Json.parse (Json.float f) with
+      | Ok (Json.Float g) ->
+        Alcotest.(check (float 0.)) (Printf.sprintf "%h" f) f g
+      | Ok (Json.Int i) ->
+        Alcotest.(check (float 0.)) (Printf.sprintf "%h" f) f (float_of_int i)
+      | Ok _ -> Alcotest.failf "%h parsed to a non-number" f
+      | Error e -> Alcotest.failf "%h: %s" f e)
+    [ 0.1; 1. /. 3.; 1e-7; 123456.789; Float.pi; -2.5; 1e300 ]
+
+(* --- event parsing ------------------------------------------------------ *)
+
+let roundtrip_events evs =
+  let lines = List.map Trace.to_json evs in
+  ok_or_fail "parse_lines" (Replay.parse_lines lines)
+
+let test_event_roundtrip () =
+  let evs =
+    [ Trace.Run_begin { program = "p"; n = 3; active = 3 };
+      Trace.Round_begin { round = 0 };
+      Trace.Send { round = 0; src = 0; dst = 1 };
+      Trace.Drop { round = 0; src = 1; dst = 2; reason = Trace.Random };
+      Trace.Drop { round = 0; src = 1; dst = 2; reason = Trace.Adversary };
+      Trace.Drop { round = 0; src = 1; dst = 2; reason = Trace.Crashed_dst };
+      Trace.Delay { round = 0; src = 2; dst = 0; delay = 2 };
+      Trace.Recv { round = 1; node = 1; messages = 4 };
+      Trace.Decide { round = 1; node = 0; in_mis = true };
+      Trace.Crash { round = 1; node = 2 };
+      Trace.Annotate { round = 1; node = 1; key = "k"; value = -3 };
+      Trace.Span_begin { name = "phase" };
+      Trace.Span_end { name = "phase"; seconds = 0.25 };
+      Trace.Run_end
+        { rounds = 1; messages = 1; dropped = 3; delayed = 1; decided = 1 } ]
+  in
+  let back = roundtrip_events evs in
+  Alcotest.(check int) "count" (List.length evs) (List.length back);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "same serialization" (Trace.to_json a)
+        (Trace.to_json b))
+    evs back;
+  Alcotest.(check bool) "same events" true (evs = back)
+
+let test_event_parse_errors () =
+  let bad line =
+    match Replay.parse_line line with
+    | Ok _ -> Alcotest.failf "parse_line %S unexpectedly succeeded" line
+    | Error e -> e
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "unknown type mentions it" true
+    (contains (bad {|{"type":"warp","round":1}|}) "warp");
+  Alcotest.(check bool) "missing field named" true
+    (contains (bad {|{"type":"send","round":1,"src":0}|}) "dst");
+  Alcotest.(check bool) "bad drop reason" true
+    (contains (bad {|{"type":"drop","round":1,"src":0,"dst":1,"reason":"x"}|})
+       "reason");
+  Alcotest.(check bool) "not an object" true
+    (String.length (bad "[1,2]") > 0);
+  (* parse_lines prefixes 1-based line numbers and skips blanks. *)
+  match Replay.parse_lines [ {|{"type":"run_begin","program":"p","n":1,"active":1}|}; ""; "nope" ] with
+  | Ok _ -> Alcotest.fail "parse_lines accepted garbage"
+  | Error e ->
+    Alcotest.(check bool) ("line number in " ^ e) true
+      (String.length e >= 7 && String.sub e 0 7 = "line 3:")
+
+(* --- replay: golden stream ---------------------------------------------- *)
+
+let golden_run () =
+  let view = View.full (Trees.path 4) in
+  let sink, events = Trace.memory () in
+  let o =
+    Fairmis.Fair_tree_distributed.run ~gamma:1 ~tracer:sink view
+      (Rand_plan.make 5)
+  in
+  (o, events ())
+
+let test_replay_golden () =
+  let o, evs = golden_run () in
+  let s =
+    match Replay.replay evs with
+    | Ok s -> s
+    | Error errs -> Alcotest.failf "replay failed: %s" (String.concat "; " errs)
+  in
+  Alcotest.(check string) "program" "fair_tree" s.Replay.program;
+  Alcotest.(check int) "n" 4 s.Replay.n;
+  Alcotest.(check int) "active" 4 s.Replay.active;
+  Alcotest.(check int) "rounds" 11 s.Replay.rounds;
+  Alcotest.(check int) "sends" 51 s.Replay.sends;
+  Alcotest.(check int) "delivered" o.Mis_sim.Runtime.messages s.Replay.delivered;
+  Alcotest.(check int) "dropped" 0 s.Replay.dropped;
+  Alcotest.(check int) "delayed" 0 s.Replay.delayed;
+  Alcotest.(check int) "decided" 4 s.Replay.decided;
+  Alcotest.(check int) "crashed" 0 s.Replay.crashed;
+  Alcotest.(check int) "annotations" 12 s.Replay.annotations;
+  Alcotest.(check bool) "complete" true s.Replay.complete;
+  Alcotest.(check int) "round stats len" 12 (Array.length s.Replay.round_stats);
+  Helpers.bool_array |> fun t ->
+  Alcotest.check t "in_mis = outcome output" o.Mis_sim.Runtime.output
+    s.Replay.in_mis;
+  (* Per-round delivered messages must sum to the outcome total, and agree
+     with the outcome's own per-round stats. *)
+  let sum =
+    Array.fold_left (fun a rs -> a + rs.Replay.r_messages) 0 s.Replay.round_stats
+  in
+  Alcotest.(check int) "per-round sum" o.Mis_sim.Runtime.messages sum;
+  Array.iteri
+    (fun r rs ->
+      Alcotest.(check int)
+        (Printf.sprintf "round %d messages" r)
+        o.Mis_sim.Runtime.round_stats.(r).Mis_sim.Runtime.rs_messages
+        rs.Replay.r_messages)
+    s.Replay.round_stats;
+  Array.iter
+    (fun dr -> Alcotest.(check bool) "everyone decided" true (dr >= 0))
+    s.Replay.decide_round
+
+(* The same stream through the serialize → parse path. *)
+let test_replay_golden_via_json () =
+  let o, evs = golden_run () in
+  let s =
+    match Replay.replay (roundtrip_events evs) with
+    | Ok s -> s
+    | Error errs -> Alcotest.failf "replay failed: %s" (String.concat "; " errs)
+  in
+  Alcotest.(check int) "delivered" o.Mis_sim.Runtime.messages s.Replay.delivered;
+  Alcotest.(check int) "decided" 4 s.Replay.decided
+
+let errors_of evs =
+  match Replay.replay evs with
+  | Ok _ -> Alcotest.fail "replay unexpectedly succeeded"
+  | Error errs -> String.concat "\n" errs
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* Dropping one send line must break conservation with a precise error:
+   the enclosing round_end no longer matches the event sums. *)
+let test_replay_corrupted_missing_send () =
+  let _, evs = golden_run () in
+  let send_round = ref (-1) in
+  let dropped = ref false in
+  let corrupted =
+    List.filter
+      (fun ev ->
+        match ev with
+        | Trace.Send { round; _ } when not !dropped ->
+          dropped := true;
+          send_round := round;
+          false
+        | _ -> true)
+      evs
+  in
+  Alcotest.(check bool) "a send was removed" true !dropped;
+  let msg = errors_of corrupted in
+  Alcotest.(check bool)
+    (Printf.sprintf "names the round (%s)" msg)
+    true
+    (contains msg (Printf.sprintf "round %d" !send_round));
+  Alcotest.(check bool) "points at round_end accounting" true
+    (contains msg "round_end")
+
+let test_replay_corrupted_truncated () =
+  let _, evs = golden_run () in
+  let truncated =
+    List.filter (fun ev -> match ev with Trace.Run_end _ -> false | _ -> true)
+      evs
+  in
+  let msg = errors_of truncated in
+  Alcotest.(check bool)
+    (Printf.sprintf "missing run_end reported (%s)" msg)
+    true (contains msg "run_end")
+
+let test_replay_rejects_crash_silence_violation () =
+  let evs =
+    [ Trace.Run_begin { program = "p"; n = 2; active = 2 };
+      Trace.Round_begin { round = 0 };
+      Trace.Crash { round = 0; node = 0 };
+      Trace.Send { round = 0; src = 0; dst = 1 };
+      Trace.Round_end
+        { round = 0; messages = 1; dropped = 0; delayed = 0; decided = 0;
+          crashed = 1 };
+      Trace.Round_begin { round = 1 };
+      Trace.Recv { round = 1; node = 1; messages = 1 };
+      Trace.Decide { round = 1; node = 1; in_mis = true };
+      Trace.Round_end
+        { round = 1; messages = 0; dropped = 0; delayed = 0; decided = 1;
+          crashed = 0 };
+      Trace.Run_end
+        { rounds = 1; messages = 1; dropped = 0; delayed = 0; decided = 1 } ]
+  in
+  let msg = errors_of evs in
+  Alcotest.(check bool)
+    (Printf.sprintf "crashed sender rejected (%s)" msg)
+    true (contains msg "crash")
+
+let test_replay_rejects_double_decide () =
+  let evs =
+    [ Trace.Run_begin { program = "p"; n = 1; active = 1 };
+      Trace.Round_begin { round = 0 };
+      Trace.Decide { round = 0; node = 0; in_mis = true };
+      Trace.Decide { round = 0; node = 0; in_mis = false };
+      Trace.Round_end
+        { round = 0; messages = 0; dropped = 0; delayed = 0; decided = 2;
+          crashed = 0 };
+      Trace.Run_end
+        { rounds = 0; messages = 0; dropped = 0; delayed = 0; decided = 2 } ]
+  in
+  let msg = errors_of evs in
+  Alcotest.(check bool)
+    (Printf.sprintf "double decide rejected (%s)" msg)
+    true (contains msg "decide")
+
+(* A faulty run (drops, delays, crashes) still replays clean: the
+   validator knows the fault model's event semantics. *)
+let test_replay_faulty_run () =
+  let view = View.full (Helpers.random_tree ~seed:11 ~n:40) in
+  (* Faulty runs are long; size the ring so no event is evicted. *)
+  let sink, events = Trace.memory ~capacity:2_000_000 () in
+  let o =
+    Fairmis.Robust.run_fair_tree ~tracer:sink
+      ~faults:
+        (Fault.create ~seed:3 ~drop:0.1 ~max_delay:3
+           ~crashes:[ (7, 2); (30, 5) ] ())
+      view (Rand_plan.make 21)
+  in
+  let s =
+    match Replay.replay (events ()) with
+    | Ok s -> s
+    | Error errs -> Alcotest.failf "replay failed: %s" (String.concat "; " errs)
+  in
+  Alcotest.(check bool) "faults actually fired" true
+    (s.Replay.dropped > 0 && s.Replay.delayed > 0 && s.Replay.crashed > 0);
+  Alcotest.(check int) "delivered" o.Mis_sim.Runtime.messages s.Replay.delivered;
+  Alcotest.(check int) "dropped" o.Mis_sim.Runtime.dropped s.Replay.dropped;
+  Alcotest.(check int) "delayed" o.Mis_sim.Runtime.delayed s.Replay.delayed
+
+(* --- fairness accumulator ----------------------------------------------- *)
+
+let test_fairness_record_merge () =
+  let a = Fairness.create ~n:3 and b = Fairness.create ~n:3 in
+  Fairness.record a ~in_mis:[| true; false; true |];
+  Fairness.record a ~in_mis:[| true; false; false |];
+  Fairness.record b ~in_mis:[| false; true; true |];
+  Fairness.merge a b;
+  Alcotest.(check int) "runs" 3 (Fairness.runs a);
+  Alcotest.check Helpers.int_array "joins" [| 2; 1; 2 |] (Fairness.joins a);
+  let s = Fairness.summarize a in
+  Alcotest.(check (float 1e-9)) "min" (1. /. 3.) s.Fairness.min_freq;
+  Alcotest.(check (float 1e-9)) "max" (2. /. 3.) s.Fairness.max_freq;
+  Alcotest.(check (float 1e-9)) "factor" 2. s.Fairness.factor;
+  Alcotest.(check int) "never joined" 0 s.Fairness.never_joined
+
+let test_fairness_sink () =
+  let acc = Fairness.create ~n:6 in
+  let view = View.full (Trees.star 6) in
+  for seed = 1 to 40 do
+    ignore
+      (Fairmis.Luby.run_distributed ~tracer:(Fairness.sink acc) view
+         (Rand_plan.make seed))
+  done;
+  Alcotest.(check int) "runs counted" 40 (Fairness.runs acc);
+  let s = Fairness.summarize acc in
+  (* On a star the center is starved: a hub that joins blocks all leaves,
+     so max/min is large, and every run admits at least one member. *)
+  Alcotest.(check bool) "factor > 1" true (s.Fairness.factor > 1.);
+  Alcotest.(check bool) "someone joined" true (s.Fairness.max_freq > 0.)
+
+let test_fairness_never_joined () =
+  let acc = Fairness.create ~n:2 in
+  Fairness.record acc ~in_mis:[| true; false |];
+  let s = Fairness.summarize acc in
+  Alcotest.(check int) "never joined" 1 s.Fairness.never_joined;
+  Alcotest.(check bool) "factor inf" true (s.Fairness.factor = infinity)
+
+let test_fairness_rendering () =
+  let acc = Fairness.create ~n:130 in
+  let in_mis = Array.init 130 (fun i -> i mod 3 = 0) in
+  Fairness.record acc ~in_mis;
+  let hm = Fairness.heatmap ~width:64 acc in
+  (* 130 nodes at 64 per row -> 3 data rows plus the header line. *)
+  Alcotest.(check int) "heatmap rows" 4
+    (List.length
+       (List.filter (fun l -> l <> "") (String.split_on_char '\n' hm)));
+  let hist = Fairness.histogram ~bins:5 ~width:10 acc in
+  Alcotest.(check bool) "histogram labelled" true (contains hist "[0.00,0.20)")
+
+(* --- profiler ----------------------------------------------------------- *)
+
+let test_prof_tree () =
+  let p = Prof.create () in
+  Prof.span p "outer" (fun () ->
+      Prof.span p "inner" (fun () -> ignore (Sys.opaque_identity 1));
+      Prof.span p "inner" (fun () -> ignore (Sys.opaque_identity 2)));
+  Prof.span p "outer" (fun () -> ());
+  match Prof.tree p with
+  | [ outer ] ->
+    Alcotest.(check string) "outer name" "outer" outer.Prof.s_name;
+    Alcotest.(check int) "outer calls" 2 outer.Prof.s_calls;
+    (match outer.Prof.s_children with
+    | [ inner ] ->
+      Alcotest.(check string) "inner name" "inner" inner.Prof.s_name;
+      Alcotest.(check int) "inner accumulates" 2 inner.Prof.s_calls;
+      Alcotest.(check bool) "child time <= parent" true
+        (inner.Prof.s_seconds <= outer.Prof.s_seconds)
+    | l -> Alcotest.failf "expected one child, got %d" (List.length l))
+  | l -> Alcotest.failf "expected one root, got %d" (List.length l)
+
+let test_prof_exception_safe () =
+  let p = Prof.create () in
+  (try Prof.span p "boom" (fun () -> failwith "x") with Failure _ -> ());
+  (* A span leaked by [start] with no [stop] is discarded when an outer
+     stop restores the stack. *)
+  Prof.span p "after" (fun () ->
+      let h = Prof.start p "leaked" in
+      ignore h);
+  match List.map (fun s -> s.Prof.s_name) (Prof.tree p) with
+  | [ "boom"; "after" ] -> ()
+  | names -> Alcotest.failf "tree: %s" (String.concat "," names)
+
+let test_prof_merge_forest () =
+  let mk name calls =
+    { Prof.s_name = name; s_calls = calls; s_seconds = float_of_int calls;
+      s_allocated_bytes = 0.; s_minor = 0; s_major = 0; s_children = [] }
+  in
+  let merged =
+    Prof.merge_forest
+      [ { (mk "a" 1) with Prof.s_children = [ mk "x" 2 ] };
+        mk "b" 5;
+        { (mk "a" 3) with Prof.s_children = [ mk "x" 4; mk "y" 1 ] } ]
+  in
+  match merged with
+  | [ a; b ] ->
+    Alcotest.(check string) "order" "a" a.Prof.s_name;
+    Alcotest.(check int) "a calls" 4 a.Prof.s_calls;
+    Alcotest.(check (float 1e-9)) "a seconds" 4. a.Prof.s_seconds;
+    Alcotest.(check int) "b calls" 5 b.Prof.s_calls;
+    (match a.Prof.s_children with
+    | [ x; y ] ->
+      Alcotest.(check int) "x merged" 6 x.Prof.s_calls;
+      Alcotest.(check int) "y kept" 1 y.Prof.s_calls
+    | l -> Alcotest.failf "a children: %d" (List.length l))
+  | l -> Alcotest.failf "roots: %d" (List.length l)
+
+let test_prof_to_metrics () =
+  let p = Prof.create () in
+  Prof.span p "top" (fun () -> Prof.span p "sub" (fun () -> ()));
+  let reg = Metrics.create () in
+  Prof.to_metrics p reg;
+  Alcotest.(check int) "timer calls" 1
+    (Metrics.timer_calls (Metrics.timer reg "prof.top"));
+  Alcotest.(check int) "nested path" 1
+    (Metrics.timer_calls (Metrics.timer reg "prof.top.sub"));
+  let snap = Metrics.snapshot reg in
+  Alcotest.(check bool) "gc counters present" true
+    (Metrics.find_counter snap "prof.top.allocated_bytes" <> None)
+
+let test_prof_report_format () =
+  let p = Prof.create () in
+  Prof.span p "alpha" (fun () -> Prof.span p "beta" (fun () -> ()));
+  let r = Prof.report p in
+  Alcotest.(check bool) "header" true (contains r "span");
+  Alcotest.(check bool) "alpha row" true (contains r "alpha");
+  Alcotest.(check bool) "beta indented" true (contains r "\n  beta")
+
+(* --- bench history ------------------------------------------------------ *)
+
+let entry_fixture ~timestamp ~scale =
+  Bench_history.make ~timestamp ~config:"test config"
+    [ { Bench_history.workload = "w/fast"; ns_per_run = Some (100. *. scale) };
+      { Bench_history.workload = "w/slow"; ns_per_run = Some (9000. *. scale) };
+      { Bench_history.workload = "w/none"; ns_per_run = None } ]
+
+let test_bench_history_roundtrip () =
+  let e = entry_fixture ~timestamp:1234.5 ~scale:1. in
+  let j = Bench_history.entry_to_json e in
+  let v = ok_or_fail "parse" (Json.parse j) in
+  let e' = ok_or_fail "entry_of_json" (Bench_history.entry_of_json v) in
+  Alcotest.(check bool) "round-trips" true (e = e');
+  (* Entries from a future schema are rejected, not misread. *)
+  match Json.parse j with
+  | Ok (Json.Obj fields) ->
+    let bumped =
+      Json.Obj
+        (List.map
+           (fun (k, v) ->
+             if k = "schema" then
+               (k, Json.Int (Bench_history.schema_version + 1))
+             else (k, v))
+           fields)
+    in
+    (match Bench_history.entry_of_json bumped with
+    | Ok _ -> Alcotest.fail "future schema accepted"
+    | Error e -> Alcotest.(check bool) ("mentions schema: " ^ e) true
+        (contains e "schema"))
+  | _ -> Alcotest.fail "entry json not an object"
+
+let test_bench_history_file () =
+  let path = Filename.temp_file "fairmis_bench" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Sys.remove path;
+      let e1 = entry_fixture ~timestamp:1. ~scale:1. in
+      let e2 = entry_fixture ~timestamp:2. ~scale:1.1 in
+      Bench_history.append ~path e1;
+      Bench_history.append ~path e2;
+      let all = ok_or_fail "load" (Bench_history.load ~path) in
+      Alcotest.(check int) "two entries" 2 (List.length all);
+      Alcotest.(check bool) "order oldest first" true (List.hd all = e1);
+      let last = ok_or_fail "last" (Bench_history.last ~path) in
+      Alcotest.(check bool) "last is newest" true (last = e2))
+
+let test_bench_history_load_errors () =
+  let path = Filename.temp_file "fairmis_bench" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "{\"schema\":1,\"timestamp\":1.0,\"config\":\"c\",\"tests\":[]}\nnot json\n";
+      close_out oc;
+      match Bench_history.load ~path with
+      | Ok _ -> Alcotest.fail "garbage accepted"
+      | Error e ->
+        Alcotest.(check bool) ("line number in " ^ e) true (contains e ":2"))
+
+(* The headline regression scenario: a 2x slowdown on one workload. *)
+let test_bench_diff_detects_slowdown () =
+  let old_entry = entry_fixture ~timestamp:1. ~scale:1. in
+  let new_entry =
+    Bench_history.make ~timestamp:2. ~config:"test config"
+      [ { Bench_history.workload = "w/fast"; ns_per_run = Some 200. };
+        { Bench_history.workload = "w/slow"; ns_per_run = Some 9100. };
+        { Bench_history.workload = "w/none"; ns_per_run = Some 1. } ]
+  in
+  let r = Bench_history.diff ~old_entry ~new_entry () in
+  Alcotest.(check int) "compared" 2 r.Bench_history.compared;
+  Alcotest.(check bool) "regression flagged" true
+    (Bench_history.has_regressions r);
+  (match r.Bench_history.regressions with
+  | [ d ] ->
+    Alcotest.(check string) "which workload" "w/fast" d.Bench_history.workload;
+    Alcotest.(check (float 1e-9)) "ratio" 2. d.Bench_history.ratio
+  | l -> Alcotest.failf "regressions: %d" (List.length l));
+  Alcotest.(check bool) "1%% drift tolerated" true
+    (r.Bench_history.improvements = []);
+  Alcotest.(check bool) "render says SLOWER" true
+    (contains (Bench_history.render r) "SLOWER")
+
+let test_bench_diff_improvement_and_sets () =
+  let old_entry =
+    Bench_history.make ~timestamp:1. ~config:"c"
+      [ { Bench_history.workload = "a"; ns_per_run = Some 1000. };
+        { Bench_history.workload = "gone"; ns_per_run = Some 5. } ]
+  in
+  let new_entry =
+    Bench_history.make ~timestamp:2. ~config:"c"
+      [ { Bench_history.workload = "a"; ns_per_run = Some 400. };
+        { Bench_history.workload = "fresh"; ns_per_run = Some 5. } ]
+  in
+  let r = Bench_history.diff ~threshold:0.5 ~old_entry ~new_entry () in
+  Alcotest.(check bool) "no regressions" false (Bench_history.has_regressions r);
+  Alcotest.(check int) "one improvement" 1
+    (List.length r.Bench_history.improvements);
+  Alcotest.(check bool) "missing tracked" true
+    (r.Bench_history.missing = [ "gone" ]);
+  Alcotest.(check bool) "added tracked" true
+    (r.Bench_history.added = [ "fresh" ]);
+  (* Tighter threshold turns the same delta into... still an improvement;
+     a looser one absorbs it. *)
+  let loose = Bench_history.diff ~threshold:2.0 ~old_entry ~new_entry () in
+  Alcotest.(check int) "loose threshold absorbs" 0
+    (List.length loose.Bench_history.improvements)
+
+let suite =
+  [ ( "replay",
+      [ Alcotest.test_case "json parse scalars" `Quick test_parse_scalars;
+        Alcotest.test_case "json parse structures" `Quick
+          test_parse_structures;
+        Alcotest.test_case "json parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "json accessors" `Quick test_parse_accessors;
+        Helpers.qtest ~count:500 "json emit/parse/emit identity"
+          arb_json_value prop_emit_parse_emit;
+        Helpers.qtest ~count:500 "json parse/emit fixpoint" arb_json_value
+          prop_parse_emit_identity;
+        Alcotest.test_case "json float round-trip" `Quick
+          test_float_string_roundtrip;
+        Alcotest.test_case "event round-trip" `Quick test_event_roundtrip;
+        Alcotest.test_case "event parse errors" `Quick
+          test_event_parse_errors;
+        Alcotest.test_case "replay golden fairtree" `Quick test_replay_golden;
+        Alcotest.test_case "replay golden via json" `Quick
+          test_replay_golden_via_json;
+        Alcotest.test_case "corrupted: missing send" `Quick
+          test_replay_corrupted_missing_send;
+        Alcotest.test_case "corrupted: truncated" `Quick
+          test_replay_corrupted_truncated;
+        Alcotest.test_case "crash silence enforced" `Quick
+          test_replay_rejects_crash_silence_violation;
+        Alcotest.test_case "double decide rejected" `Quick
+          test_replay_rejects_double_decide;
+        Alcotest.test_case "faulty run replays clean" `Quick
+          test_replay_faulty_run;
+        Alcotest.test_case "fairness record/merge" `Quick
+          test_fairness_record_merge;
+        Alcotest.test_case "fairness sink" `Quick test_fairness_sink;
+        Alcotest.test_case "fairness never-joined" `Quick
+          test_fairness_never_joined;
+        Alcotest.test_case "fairness rendering" `Quick
+          test_fairness_rendering;
+        Alcotest.test_case "prof tree" `Quick test_prof_tree;
+        Alcotest.test_case "prof exception safety" `Quick
+          test_prof_exception_safe;
+        Alcotest.test_case "prof merge forest" `Quick test_prof_merge_forest;
+        Alcotest.test_case "prof to metrics" `Quick test_prof_to_metrics;
+        Alcotest.test_case "prof report format" `Quick
+          test_prof_report_format;
+        Alcotest.test_case "bench history round-trip" `Quick
+          test_bench_history_roundtrip;
+        Alcotest.test_case "bench history file" `Quick
+          test_bench_history_file;
+        Alcotest.test_case "bench history load errors" `Quick
+          test_bench_history_load_errors;
+        Alcotest.test_case "bench-diff detects 2x slowdown" `Quick
+          test_bench_diff_detects_slowdown;
+        Alcotest.test_case "bench-diff improvements and sets" `Quick
+          test_bench_diff_improvement_and_sets ] ) ]
