@@ -114,6 +114,52 @@ let run_timing () =
   print_newline ();
   estimates
 
+(* Parallel-engine scaling: wall-clock of a fixed 1000-trial fairness
+   workload (Luby on a 1000-node random tree) at 1 / 2 / 4 domains. Whole
+   map-reduce invocations are the unit of work, so this is measured
+   best-of-2 with a plain clock rather than through Bechamel. History
+   entries record ns per trial; on a multi-core host the domains-4 row
+   should sit well under the domains-1 row, and `bench-diff` will flag a
+   scaling regression like any other slowdown. *)
+let run_parallel_scaling () =
+  print_endline "== parallel: 1000-trial fairness workload across domains";
+  let trials = 1000 and n = 1000 in
+  let view = View.full (Helpers_bench.random_tree n) in
+  let work domains =
+    let spec = { Mis_exp.Trials.trials; seed = 11; domains = Some domains } in
+    ignore
+      (Mis_exp.Trials.fairness spec ~n (fun acc ~seed ->
+           Mis_obs.Fairness.record acc
+             ~in_mis:(Fairmis.Luby.run view (Rand_plan.make seed))))
+  in
+  let time_best domains =
+    let best = ref infinity in
+    for _ = 1 to 2 do
+      let t0 = Unix.gettimeofday () in
+      work domains;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let secs = List.map (fun d -> (d, time_best d)) [ 1; 2; 4 ] in
+  let base = List.assoc 1 secs in
+  let ns_per_trial s = s *. 1e9 /. float_of_int trials in
+  Mis_exp.Table.print
+    ~header:[ "domains"; "s/run"; "ns/trial"; "speedup" ]
+    (List.map
+       (fun (d, s) ->
+         [ string_of_int d; Printf.sprintf "%.3f" s;
+           Printf.sprintf "%.0f" (ns_per_trial s);
+           Printf.sprintf "%.2fx" (base /. s) ])
+       secs);
+  print_newline ();
+  List.map
+    (fun (d, s) ->
+      ( Printf.sprintf "parallel/fairness-n%d-trials%d/domains-%d" n trials d,
+        Some (ns_per_trial s) ))
+    secs
+
 let run_experiment ~metrics cfg id =
   match Mis_exp.Registry.find id with
   | Some e ->
@@ -189,6 +235,7 @@ let () =
       (fun e -> run_experiment ~metrics cfg e.Mis_exp.Registry.id)
       Mis_exp.Registry.all;
     let timing = run_timing () in
+    let timing = timing @ run_parallel_scaling () in
     append_history ~cfg timing;
     write_bench_trace ~cfg ~timing metrics;
     Mis_obs.Prof.print_report stderr
@@ -196,7 +243,10 @@ let () =
     let timing = ref [] in
     List.iter
       (fun id ->
-        if id = "timing" then timing := run_timing ()
+        if id = "timing" then begin
+          let t = run_timing () in
+          timing := t @ run_parallel_scaling ()
+        end
         else run_experiment ~metrics cfg id)
       ids;
     append_history ~cfg !timing;

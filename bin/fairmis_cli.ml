@@ -587,8 +587,21 @@ let faults_cmd =
 let experiment_cmd =
   let doc = "Run registered paper experiments (see 'list')." in
   let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
-  let run ids =
+  let domains =
+    Arg.(value & opt (some int) None
+        & info [ "domains" ]
+            ~doc:"Parallel domains for the trial engine (overrides \
+                  FAIRMIS_DOMAINS; results are bit-identical at any \
+                  value).")
+  in
+  let run domains ids =
     let cfg = Mis_exp.Config.load () in
+    let cfg =
+      match domains with
+      | None -> cfg
+      | Some d when d >= 1 -> { cfg with Mis_exp.Config.domains = Some d }
+      | Some _ -> or_die (Error "--domains must be >= 1")
+    in
     List.iter
       (fun id ->
         match Mis_exp.Registry.find id with
@@ -598,7 +611,7 @@ let experiment_cmd =
           exit 2)
       ids
   in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ ids)
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ domains $ ids)
 
 let () =
   let doc = "Fair Maximal Independent Sets — simulator and experiments" in

@@ -16,16 +16,22 @@ let light cfg = { cfg with Config.trials = min cfg.Config.trials 2000 }
 
 (* Average block-join rate over a few hundred runs (Lemma 12(i)). *)
 let block_rate cfg view =
-  let trials = min 300 cfg.Config.trials in
-  let total = ref 0 and count = ref 0 in
-  for seed = cfg.Config.seed to cfg.Config.seed + trials - 1 do
-    let _, tr = Fairmis.Fair_bipart.run_traced view (Rand_plan.make seed) in
-    Array.iter
-      (fun b ->
-        incr count;
-        if b then incr total)
-      tr.Fairmis.Fair_bipart.in_block
-  done;
+  let spec = Trials.of_config ~trials:(min 300 cfg.Config.trials) cfg in
+  let total, count =
+    Trials.fold spec
+      ~init:(fun () -> (ref 0, ref 0))
+      ~trial:(fun (total, count) ~seed ->
+        let _, tr = Fairmis.Fair_bipart.run_traced view (Rand_plan.make seed) in
+        Array.iter
+          (fun b ->
+            incr count;
+            if b then incr total)
+          tr.Fairmis.Fair_bipart.in_block)
+      ~merge:(fun (ta, ca) (tb, cb) ->
+        ta := !ta + !tb;
+        ca := !ca + !cb;
+        (ta, ca))
+  in
   float_of_int !total /. float_of_int !count
 
 let run cfg =

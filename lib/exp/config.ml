@@ -23,7 +23,10 @@ let load ?(getenv = Sys.getenv_opt) () =
   let domains =
     match getenv "FAIRMIS_DOMAINS" with
     | None -> None
-    | Some s -> int_of_string_opt (String.trim s)
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> Some d
+      | _ -> None)
   in
   let nyc =
     match getenv "FAIRMIS_NYC" with

@@ -6,7 +6,9 @@
       NYC tree (overrides [FAIRMIS_TRIALS] unless that is also set).
     - [FAIRMIS_NYC]     — [full] | [small] | [skip]; default [full] in paper
       mode, [small] (2,048-node city tree) otherwise.
-    - [FAIRMIS_DOMAINS] — parallel domains for the Monte Carlo harness.
+    - [FAIRMIS_DOMAINS] — parallel domains for the trial engine (must be
+      [>= 1]; garbage falls back to the engine default,
+      {!Mis_stats.Parallel.default_domains}).
     - [FAIRMIS_SEED]    — base seed; default 1.
     - [FAIRMIS_OUT]     — existing directory; experiments that can export
       CSV artifacts (currently [fig4]) write them there. *)

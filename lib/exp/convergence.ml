@@ -3,22 +3,33 @@ module Empirical = Mis_stats.Empirical
 
 let checkpoints = [ 250; 500; 1000; 2000; 5000; 10_000 ]
 
-(* Accumulate one pass of 10,000 trials, reporting the factor estimate at
-   each checkpoint. Serial on purpose: checkpoints must see exactly the
-   first k trials. *)
+(* Accumulate one pass of 10,000 trials, reporting the factor estimate
+   at each checkpoint. Each checkpoint must see exactly the first k
+   trials; the engine's ordered deterministic reduction makes that true
+   in parallel too — the segment [done, target) runs on the engine and
+   its join counts are added to the running totals. *)
 let factor_trajectory cfg view (runner : Runners.t) =
   let n = View.n view in
   let joins = Array.make n 0 in
   let mask = Array.init n (View.node_active view) in
   let results = ref [] in
-  let trials = ref 0 in
+  let finished = ref 0 in
   List.iter
     (fun target ->
-      while !trials < target do
-        let mis = runner.Runners.run view ~seed:(cfg.Config.seed + !trials) in
-        Array.iteri (fun u b -> if b then joins.(u) <- joins.(u) + 1) mis;
-        incr trials
-      done;
+      if target > !finished then begin
+        let seg =
+          Trials.counts
+            { Trials.trials = target - !finished;
+              seed = cfg.Config.seed + !finished;
+              domains = cfg.Config.domains }
+            ~n
+            (fun ~seed -> runner.Runners.run view ~seed)
+        in
+        for u = 0 to n - 1 do
+          joins.(u) <- joins.(u) + seg.(u)
+        done;
+        finished := target
+      end;
       let e = Empirical.of_mask ~mask ~trials:target ~joins in
       results := (target, Empirical.inequality_factor e) :: !results)
     checkpoints;

@@ -17,11 +17,12 @@ let pairs_of view ~anchor =
 let light cfg = { cfg with Config.trials = min cfg.Config.trials 4000 }
 
 let measure cfg pairs run =
-  let joint = Joint.create ~pairs:(Array.of_list (List.map snd pairs)) in
-  for i = 0 to cfg.Config.trials - 1 do
-    Joint.record joint (run ~seed:(cfg.Config.seed + i))
-  done;
-  joint
+  Trials.fold (Trials.of_config cfg)
+    ~init:(fun () -> Joint.create ~pairs:(Array.of_list (List.map snd pairs)))
+    ~trial:(fun joint ~seed -> Joint.record joint (run ~seed))
+    ~merge:(fun a b ->
+      Joint.merge ~into:a b;
+      a)
 
 let run cfg =
   let cfg = light cfg in

@@ -2,7 +2,6 @@ module View = Mis_graph.View
 module Splitmix = Mis_util.Splitmix
 module Fairness = Mis_obs.Fairness
 module Prof = Mis_obs.Prof
-module Parallel = Mis_stats.Parallel
 
 type params = {
   n : int;
@@ -24,17 +23,18 @@ let tree_of (params : params) =
 
 (* One algorithm: run the simulator-backed program [trials] times, each
    with a Fairness sink as its tracer, so the join statistics come from
-   the decide events of the trace stream itself. *)
+   the decide events of the trace stream itself. Each engine chunk gets
+   its own accumulator (and so its own single-writer sink); the engine
+   merges them in chunk order. *)
 let measure ~(params : params) view (tr : Runners.traced) =
   let n = View.n view in
-  Parallel.map_reduce ?domains:params.domains ~tasks:params.trials
-    ~init:(fun () -> Fairness.create ~n)
-    ~task:(fun acc i ->
+  Trials.fairness
+    { Trials.trials = params.trials; seed = params.seed;
+      domains = params.domains }
+    ~n
+    (fun acc ~seed ->
       let tracer = Fairness.sink acc in
-      ignore (tr.Runners.t_run view ~seed:(params.seed + i) ~tracer))
-    ~merge:(fun a b ->
-      Fairness.merge a b;
-      a)
+      ignore (tr.Runners.t_run view ~seed ~tracer))
 
 let find_algorithms names =
   List.map

@@ -3,7 +3,6 @@ module Check = Mis_graph.Check
 module Fault = Mis_sim.Fault
 module Splitmix = Mis_util.Splitmix
 module Empirical = Mis_stats.Empirical
-module Parallel = Mis_stats.Parallel
 
 type params = {
   n : int;
@@ -53,15 +52,16 @@ type acc = {
   joins : int array;
 }
 
-let measure_cell ~(params : params) view algo ~drop =
+let measure_cell ?obs ~(params : params) view algo ~drop =
   let n = View.n view in
   let a =
-    Parallel.map_reduce ?domains:params.domains ~tasks:params.trials
+    Trials.fold ?obs
+      { Trials.trials = params.trials; seed = params.seed;
+        domains = params.domains }
       ~init:(fun () ->
         { runs = 0; ok = 0; rounds_sum = 0; dropped_sum = 0;
           joins = Array.make n 0 })
-      ~task:(fun acc i ->
-        let seed = params.seed + i in
+      ~trial:(fun acc ~seed ->
         let plan = Fairmis.Rand_plan.make seed in
         let faults = Fault.create ~seed ~drop () in
         let o = algo.alg_run view plan ~faults in
@@ -98,8 +98,10 @@ let tree_of (params : params) =
     (Splitmix.of_seed (params.seed + 0xF417))
     ~n:params.n
 
-(* Metrics are updated only here on the coordinating domain, never inside
-   the parallel tasks, so the registry needs no synchronization. *)
+(* Cell-level metrics are updated only here on the coordinating domain;
+   inside the parallel tasks the engine hands each domain its own
+   registry (merged at the barrier via [~obs]), so no cell needs
+   synchronization either way. *)
 let record_cell_metrics reg (c : cell) =
   let open Mis_obs.Metrics in
   incr ~by:c.trials (counter reg "faults.runs");
@@ -118,7 +120,7 @@ let measure ?metrics (params : params) =
     (fun algo ->
       List.map
         (fun drop ->
-          let cell () = measure_cell ~params view algo ~drop in
+          let cell () = measure_cell ?obs:metrics ~params view algo ~drop in
           match metrics with
           | None -> cell ()
           | Some reg ->

@@ -31,16 +31,26 @@ let run cfg =
             (fun ~seed ->
               Fairmis.Fair_bipart.run ~gamma view (Rand_plan.make seed))
         in
-        (* Average structural counters over a few runs. *)
+        (* Average structural counters over a few runs (on the trial
+           engine, like every other seeded probe). *)
         let probes = 200 in
-        let blocks = ref 0 and fallback = ref 0 in
-        for seed = cfg.Config.seed to cfg.Config.seed + probes - 1 do
-          let _, tr =
-            Fairmis.Fair_bipart.run_traced ~gamma view (Rand_plan.make seed)
-          in
-          Array.iter (fun b -> if b then incr blocks) tr.Fairmis.Fair_bipart.in_block;
-          fallback := !fallback + tr.Fairmis.Fair_bipart.fallback_nodes
-        done;
+        let blocks, fallback =
+          Trials.fold
+            (Trials.of_config ~trials:probes cfg)
+            ~init:(fun () -> (ref 0, ref 0))
+            ~trial:(fun (bl, fb) ~seed ->
+              let _, tr =
+                Fairmis.Fair_bipart.run_traced ~gamma view (Rand_plan.make seed)
+              in
+              Array.iter
+                (fun b -> if b then incr bl)
+                tr.Fairmis.Fair_bipart.in_block;
+              fb := !fb + tr.Fairmis.Fair_bipart.fallback_nodes)
+            ~merge:(fun (bl1, fb1) (bl2, fb2) ->
+              bl1 := !bl1 + !bl2;
+              fb1 := !fb1 + !fb2;
+              (bl1, fb1))
+        in
         let n = float_of_int (Mis_graph.Graph.n g * probes) in
         let _, tr0 =
           Fairmis.Fair_bipart.run_traced ~gamma view (Rand_plan.make cfg.Config.seed)

@@ -14,21 +14,27 @@ let algorithms =
 (* Expected (average degree of MIS members, MIS size) over the trials. *)
 let mis_degree_stats cfg view run =
   let g = View.graph view in
-  let deg_sum = ref 0. and size_sum = ref 0 in
-  for i = 0 to cfg.Config.trials - 1 do
-    let mis = run view ~seed:(cfg.Config.seed + i) in
-    let total = ref 0 and members = ref 0 in
-    Array.iteri
-      (fun u b ->
-        if b then begin
-          incr members;
-          total := !total + Graph.degree g u
-        end)
-      mis;
-    if !members > 0 then
-      deg_sum := !deg_sum +. (float_of_int !total /. float_of_int !members);
-    size_sum := !size_sum + !members
-  done;
+  let deg_sum, size_sum =
+    Trials.fold (Trials.of_config cfg)
+      ~init:(fun () -> (ref 0., ref 0))
+      ~trial:(fun (deg_sum, size_sum) ~seed ->
+        let mis = run view ~seed in
+        let total = ref 0 and members = ref 0 in
+        Array.iteri
+          (fun u b ->
+            if b then begin
+              incr members;
+              total := !total + Graph.degree g u
+            end)
+          mis;
+        if !members > 0 then
+          deg_sum := !deg_sum +. (float_of_int !total /. float_of_int !members);
+        size_sum := !size_sum + !members)
+      ~merge:(fun (da, sa) (db, sb) ->
+        da := !da +. !db;
+        sa := !sa + !sb;
+        (da, sa))
+  in
   let t = float_of_int cfg.Config.trials in
   (!deg_sum /. t, float_of_int !size_sum /. t)
 

@@ -9,12 +9,26 @@ let ceil_log2 n =
   let rec loop k acc = if acc >= n then k else loop (k + 1) (2 * acc) in
   loop 0 1
 
-let average f =
-  let total = ref 0 in
-  for i = 0 to repeats - 1 do
-    total := !total + f i
-  done;
-  float_of_int !total /. float_of_int repeats
+(* [repeats] seeded simulator runs on the trial engine, rounds and
+   messages accumulated in one pass (the runs are independent seeded
+   trials like any other Monte Carlo workload). *)
+let averages cfg run =
+  let rounds, messages =
+    Trials.fold
+      { Trials.trials = repeats; seed = cfg.Config.seed;
+        domains = cfg.Config.domains }
+      ~init:(fun () -> (ref 0, ref 0))
+      ~trial:(fun (r, m) ~seed ->
+        let o = run (Fairmis.Rand_plan.make seed) in
+        r := !r + o.Mis_sim.Runtime.rounds;
+        m := !m + o.Mis_sim.Runtime.messages)
+      ~merge:(fun (r1, m1) (r2, m2) ->
+        r1 := !r1 + !r2;
+        m1 := !m1 + !m2;
+        (r1, m1))
+  in
+  let per t = float_of_int !t /. float_of_int repeats in
+  (per rounds, per messages)
 
 (* All four programs run on the message-passing simulator; the reported
    numbers are the actual communication rounds until every node decided. *)
@@ -35,18 +49,7 @@ let run cfg =
         in
         let view = View.full g in
         let t = Rooted_tree.of_tree g ~root:0 in
-        let sim run =
-          let rounds =
-            average (fun i ->
-                let o = run (Rand_plan.make (cfg.Config.seed + i)) in
-                o.Mis_sim.Runtime.rounds)
-          and messages =
-            average (fun i ->
-                let o = run (Rand_plan.make (cfg.Config.seed + i)) in
-                o.Mis_sim.Runtime.messages)
-          in
-          (rounds, messages)
-        in
+        let sim run = averages cfg run in
         let luby, luby_msgs = sim (fun p -> Fairmis.Luby.run_distributed view p) in
         let rooted, _ = sim (fun p -> Fairmis.Fair_rooted_distributed.run t p) in
         let tree, tree_msgs = sim (fun p -> Fairmis.Fair_tree_distributed.run view p) in

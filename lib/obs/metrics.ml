@@ -125,6 +125,32 @@ let timer_add tm ~seconds ~calls =
 let timer_seconds tm = tm.seconds
 let timer_calls tm = tm.calls
 
+(* --- merge -------------------------------------------------------------- *)
+
+(* Fold [src] into [into] by name. Same-name metrics of different kinds
+   raise via [register]; histograms must agree on bucket layout. Used by
+   the parallel engine to combine per-domain registries at the barrier. *)
+let merge ~into src =
+  Hashtbl.iter
+    (fun name m ->
+      match m with
+      | Counter c -> if c.c <> 0 then incr ~by:c.c (counter into name)
+      | Gauge g -> set (gauge into name) g.g
+      | Timer tm ->
+        if tm.seconds > 0. || tm.calls > 0 then
+          timer_add (timer into name) ~seconds:tm.seconds ~calls:tm.calls
+      | Histogram h ->
+        let dst = histogram into ~buckets:h.buckets name in
+        if dst.buckets <> h.buckets then
+          invalid_arg
+            (Printf.sprintf "Metrics.merge: %S bucket layouts differ" name);
+        Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) h.counts;
+        dst.sum <- dst.sum +. h.sum;
+        dst.count <- dst.count + h.count;
+        if h.min_v < dst.min_v then dst.min_v <- h.min_v;
+        if h.max_v > dst.max_v then dst.max_v <- h.max_v)
+    src.tbl
+
 (* --- snapshots --------------------------------------------------------- *)
 
 type snapshot = (string * metric) list (* sorted by name; deep copies *)

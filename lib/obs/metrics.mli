@@ -70,6 +70,18 @@ val timer_add : timer -> seconds:float -> calls:int -> unit
 val timer_seconds : timer -> float
 val timer_calls : timer -> int
 
+(** {1 Merge} *)
+
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds every instrument of [src] into [into] by
+    name: counters and timers accumulate, histogram bucket counts / sum /
+    count / min / max accumulate, gauges take the source value. Zero
+    counters and empty timers are skipped (they do not register in
+    [into]). Used to combine per-domain registries at the parallel
+    engine's join barrier.
+    @raise Invalid_argument when a name exists in both with different
+    kinds, or when two histograms disagree on bucket layout. *)
+
 (** {1 Snapshots} *)
 
 type snapshot

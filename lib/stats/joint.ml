@@ -20,6 +20,14 @@ let record t outcome =
       if outcome.(u) && outcome.(v) then t.both.(i) <- t.both.(i) + 1)
     t.pairs
 
+let merge ~into src =
+  if into.pairs <> src.pairs then
+    invalid_arg "Joint.merge: accumulators track different pairs";
+  into.trials <- into.trials + src.trials;
+  Array.iteri (fun i c -> into.both.(i) <- into.both.(i) + c) src.both;
+  Array.iteri (fun i c -> into.first.(i) <- into.first.(i) + c) src.first;
+  Array.iteri (fun i c -> into.second.(i) <- into.second.(i) + c) src.second
+
 let trials t = t.trials
 
 let freq count trials = float_of_int count /. float_of_int trials

@@ -8,6 +8,12 @@ val create : pairs:(int * int) array -> t
 val record : t -> bool array -> unit
 (** Accumulate one run's outcome. *)
 
+val merge : into:t -> t -> unit
+(** Fold [src]'s counts into [into] (all integers, so any merge order
+    gives the same statistics — safe for the parallel trial engine).
+    @raise Invalid_argument when the two accumulators were created with
+    different pair lists. *)
+
 val trials : t -> int
 
 val correlation : t -> int -> float

@@ -6,24 +6,23 @@ type config = {
 
 let default_config = { trials = 10_000; base_seed = 1; domains = None }
 
-let run ?check config ~n run_once =
+let run ?check ?obs config ~n run_once =
   if config.trials < 1 then invalid_arg "Montecarlo.run: trials";
-  let task joins i =
-    let outcome = run_once ~seed:(config.base_seed + i) in
-    if Array.length outcome <> n then invalid_arg "Montecarlo.run: outcome length";
-    (match check with Some f -> f outcome | None -> ());
-    for u = 0 to n - 1 do
-      if outcome.(u) then joins.(u) <- joins.(u) + 1
-    done
-  in
-  Parallel.map_reduce ?domains:config.domains ~tasks:config.trials
+  Parallel.map_reduce ?domains:config.domains ?obs ~tasks:config.trials
     ~init:(fun () -> Array.make n 0)
-    ~task
     ~merge:(fun a b ->
       for u = 0 to n - 1 do
         a.(u) <- a.(u) + b.(u)
       done;
       a)
+    (fun joins i ->
+      let outcome = run_once ~seed:(config.base_seed + i) in
+      if Array.length outcome <> n then
+        invalid_arg "Montecarlo.run: outcome length";
+      (match check with Some f -> f outcome | None -> ());
+      for u = 0 to n - 1 do
+        if outcome.(u) then joins.(u) <- joins.(u) + 1
+      done)
 
 let estimate ?check config view run_once =
   let n = Mis_graph.View.n view in

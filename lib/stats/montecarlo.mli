@@ -3,8 +3,9 @@
     per-node joins, and hand the counts to {!Empirical}.
 
     Trial [i] always uses seed [base_seed + i], independent of how trials
-    are striped over domains, so results are bit-reproducible at any
-    parallelism level. *)
+    are chunked over domains, and the per-chunk counts are reduced in
+    chunk order by the {!Parallel} engine, so results are
+    bit-reproducible at any parallelism level. *)
 
 type config = {
   trials : int;
@@ -17,13 +18,16 @@ val default_config : config
 
 val run :
   ?check:(bool array -> unit) ->
+  ?obs:Mis_obs.Metrics.t ->
   config ->
   n:int ->
   (seed:int -> bool array) ->
   int array
-(** Raw join counts per node. [check] (e.g. MIS validation) runs on every
-    single outcome — the paper requires correctness on all runs, so the
-    experiments keep it on. *)
+(** Raw join counts per node, computed on the {!Parallel} engine (so the
+    counts are bit-identical at any domain count). [check] (e.g. MIS
+    validation) runs on every single outcome — the paper requires
+    correctness on all runs, so the experiments keep it on. [obs] is
+    forwarded to {!Parallel.map_reduce}. *)
 
 val estimate :
   ?check:(bool array -> unit) ->

@@ -1,29 +1,177 @@
+(* Chunked parallel experiment engine over OCaml 5 domains.
+
+   Task indices are grouped into fixed-size chunks; workers claim chunks
+   dynamically off an atomic counter (work stealing by another name), run
+   each chunk into a private accumulator, and park the result in a slot
+   array indexed by chunk. The final reduction walks the slots in chunk
+   order, so the merged value depends only on the chunk size — never on
+   the domain count or on which domain happened to run which chunk. *)
+
+let env_domains () =
+  match Sys.getenv_opt "FAIRMIS_DOMAINS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some d when d >= 1 -> Some d
+    | _ -> None)
+
 let default_domains () =
-  max 1 (min 8 (Domain.recommended_domain_count () - 1))
+  match env_domains () with
+  | Some d -> d
+  | None -> max 1 (Domain.recommended_domain_count ())
 
-let run_stripe ~tasks ~stride ~offset ~init ~task =
-  let acc = init () in
-  let i = ref offset in
-  while !i < tasks do
-    task acc !i;
-    i := !i + stride
-  done;
-  acc
+(* At most 64 chunks by default. The bound is a function of the task
+   count alone — it must not depend on the domain count, or the default
+   reduction order (and with it any non-associative merge) would change
+   with the hardware. *)
+let default_chunk ~tasks = max 1 ((tasks + 63) / 64)
 
-let map_reduce ?domains ~tasks ~init ~task ~merge =
+(* Per-domain metrics registry (fresh in every spawned worker; swapped
+   out on the coordinator for the duration of a run so concurrent
+   instrumentation never races and every run starts from zero). *)
+let metrics_key = Domain.DLS.new_key (fun () -> Mis_obs.Metrics.create ())
+
+let domain_metrics () = Domain.DLS.get metrics_key
+
+type 'acc worker_result = {
+  w_error : (int * exn * Printexc.raw_backtrace) option;
+      (* lowest-chunk failure observed by this worker *)
+  w_metrics : Mis_obs.Metrics.t option;  (* only when [obs] was requested *)
+}
+
+let map_reduce ?domains ?chunk ?obs ~tasks ~init ~merge task =
   if tasks < 0 then invalid_arg "Parallel.map_reduce: tasks";
-  let domains = match domains with
+  let domains =
+    match domains with
     | Some d -> if d < 1 then invalid_arg "Parallel.map_reduce: domains" else d
     | None -> default_domains ()
   in
-  let domains = min domains (max tasks 1) in
-  if domains = 1 then run_stripe ~tasks ~stride:1 ~offset:0 ~init ~task
+  let chunk =
+    match chunk with
+    | Some c -> if c < 1 then invalid_arg "Parallel.map_reduce: chunk" else c
+    | None -> default_chunk ~tasks
+  in
+  if tasks = 0 then init ()
   else begin
-    let workers =
-      List.init (domains - 1) (fun d ->
-          Domain.spawn (fun () ->
-              run_stripe ~tasks ~stride:domains ~offset:(d + 1) ~init ~task))
+    let nchunks = (tasks + chunk - 1) / chunk in
+    let domains = min domains nchunks in
+    let slots = Array.make nchunks None in
+    let next = Atomic.make 0 in
+    let failed = Atomic.make false in
+    let run_chunks () =
+      (* Claim and run chunks until the queue is drained or some domain
+         has failed; on an exception, remember the chunk it came from. *)
+      let error = ref None in
+      let continue = ref true in
+      while !continue && not (Atomic.get failed) do
+        let c = Atomic.fetch_and_add next 1 in
+        if c >= nchunks then continue := false
+        else begin
+          match
+            let acc = init () in
+            let lo = c * chunk and hi = min tasks ((c + 1) * chunk) in
+            for i = lo to hi - 1 do
+              task acc i
+            done;
+            acc
+          with
+          | acc -> slots.(c) <- Some acc
+          | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Atomic.set failed true;
+            error := Some (c, e, bt);
+            continue := false
+        end
+      done;
+      !error
     in
-    let first = run_stripe ~tasks ~stride:domains ~offset:0 ~init ~task in
-    List.fold_left (fun acc w -> merge acc (Domain.join w)) first workers
+    let worker () =
+      let w_error = run_chunks () in
+      let w_metrics =
+        if obs = None then None else Some (Domain.DLS.get metrics_key)
+      in
+      { w_error; w_metrics }
+    in
+    (* Spawn workers one at a time so that a failing [Domain.spawn]
+       (e.g. the runtime's domain limit) still joins the domains that
+       did start before the exception escapes. *)
+    let workers = ref [] in
+    let spawn_error = ref None in
+    (try
+       for _ = 1 to domains - 1 do
+         workers := Domain.spawn worker :: !workers
+       done
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       Atomic.set failed true;
+       spawn_error := Some (e, bt));
+    let workers = List.rev !workers in
+    (* The coordinator works too — on its own engine-local registry so
+       worker updates and coordinator updates never share cells. *)
+    let saved_metrics = Domain.DLS.get metrics_key in
+    if obs <> None then Domain.DLS.set metrics_key (Mis_obs.Metrics.create ());
+    let self =
+      match worker () with
+      | r -> Ok r
+      | exception e ->
+        (* [task] exceptions are caught inside [run_chunks]; this guards
+           the engine's own bookkeeping so workers are still joined. *)
+        Error (e, Printexc.get_raw_backtrace ())
+    in
+    if obs <> None then Domain.DLS.set metrics_key saved_metrics;
+    (* The barrier: every spawned domain is joined before any exception
+       is re-raised, so a raising task cannot leak domains. *)
+    let results = List.map Domain.join workers in
+    (match !spawn_error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    let self =
+      match self with
+      | Ok r -> r
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+    in
+    let results = self :: results in
+    (* Merge per-domain observability at the barrier: coordinator first,
+       then workers in spawn order. Counters / timers / histograms add,
+       so totals are deterministic even though the chunk-to-domain
+       assignment is not. *)
+    (match obs with
+    | None -> ()
+    | Some reg ->
+      (* engine-level scheduling counters, recorded once per run *)
+      Mis_obs.Metrics.incr ~by:tasks (Mis_obs.Metrics.counter reg "parallel.tasks");
+      Mis_obs.Metrics.incr ~by:nchunks
+        (Mis_obs.Metrics.counter reg "parallel.chunks");
+      Mis_obs.Metrics.incr ~by:domains
+        (Mis_obs.Metrics.counter reg "parallel.domains");
+      List.iter
+        (fun r ->
+          match r.w_metrics with
+          | Some m -> Mis_obs.Metrics.merge ~into:reg m
+          | None -> ())
+        results);
+    (* Re-raise the failure from the lowest-numbered chunk — determinism
+       extends to which exception the caller sees. *)
+    let first_error =
+      List.fold_left
+        (fun best r ->
+          match (best, r.w_error) with
+          | None, e -> e
+          | Some _, None -> best
+          | Some (bc, _, _), Some (c, _, _) -> if c < bc then r.w_error else best)
+        None results
+    in
+    (match first_error with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    (* Ordered reduction: slots in chunk order, left to right. *)
+    let acc = ref None in
+    Array.iter
+      (fun slot ->
+        match slot with
+        | None -> assert false (* no failure ⇒ every chunk completed *)
+        | Some a ->
+          acc := Some (match !acc with None -> a | Some prev -> merge prev a))
+      slots;
+    match !acc with Some a -> a | None -> init ()
   end

@@ -1,20 +1,80 @@
-(** Minimal multicore scatter/gather on OCaml 5 domains (no external
-    dependency): partition task indices over a fixed pool of domains,
-    accumulate per-domain, merge. Determinism is preserved as long as each
-    task derives its randomness from its own index, which is how the Monte
-    Carlo harness seeds runs. *)
+(** Chunked parallel experiment engine on OCaml 5 domains (no external
+    dependency) — the machinery behind every Monte Carlo number in the
+    evaluation.
+
+    Task indices [0 .. tasks-1] are grouped into fixed-size chunks.
+    Workers (the calling domain plus [domains - 1] spawned ones) claim
+    chunks dynamically off an atomic counter; each chunk runs in index
+    order into a private accumulator from [init ()], and the finished
+    accumulator is parked in a slot array indexed by the chunk number.
+    After all domains are joined, the slots are reduced {e in chunk
+    order}, left to right.
+
+    {2 Determinism contract}
+
+    - The sequence of [task] applications inside a chunk, and the order
+      of chunk accumulators in the final reduction, depend only on
+      [tasks] and [chunk] — {e never} on [domains] or on scheduling. The
+      result is bit-identical for any domain count, including 1.
+    - The default chunk size is a function of [tasks] alone, so the
+      default-configuration result is also hardware-independent.
+    - Changing [chunk] regroups tasks into different accumulators; the
+      result is unchanged whenever [merge] is associative with [init ()]
+      as identity (true of every counting accumulator in this repo).
+    - Tasks must derive randomness from their own index (the Monte Carlo
+      harness seeds trial [i] with [base_seed + i]), never from shared
+      mutable state.
+
+    {2 Exception safety}
+
+    A raising [task] (or [init]) marks the run failed: other domains stop
+    claiming new chunks, every spawned domain is joined, and only then is
+    the exception re-raised — a raising task cannot leak domains. When
+    several chunks raise concurrently, the exception from the
+    lowest-numbered chunk is the one re-raised. *)
 
 val default_domains : unit -> int
-(** [min 8 (recommended_domain_count - 1)], at least 1. *)
+(** The [FAIRMIS_DOMAINS] environment variable when set to an integer
+    [>= 1] (read on each call), otherwise
+    [max 1 (Domain.recommended_domain_count ())]. No other cap: the
+    engine clamps to the number of chunks per run, so small runs never
+    over-spawn. *)
+
+val default_chunk : tasks:int -> int
+(** [max 1 (ceil (tasks / 64))] — at most 64 chunks, enough slack for
+    dynamic load balancing while keeping per-chunk scheduling overhead
+    (one atomic fetch-and-add) negligible. *)
+
+val domain_metrics : unit -> Mis_obs.Metrics.t
+(** The calling domain's engine-local metrics registry. Inside a [task]
+    this is private to the executing domain, so instrumenting tasks never
+    races; pass [~obs] to have all per-domain registries merged at the
+    barrier. On the coordinating domain a fresh registry is swapped in
+    for the duration of each [~obs] run. *)
 
 val map_reduce :
   ?domains:int ->
+  ?chunk:int ->
+  ?obs:Mis_obs.Metrics.t ->
   tasks:int ->
   init:(unit -> 'acc) ->
-  task:('acc -> int -> unit) ->
   merge:('acc -> 'acc -> 'acc) ->
+  ('acc -> int -> unit) ->
   'acc
-(** Runs [task acc i] for every [i] in [0 .. tasks-1], striped across the
-    pool; each domain gets a private [init ()] accumulator; the per-domain
-    accumulators are combined left-to-right (in domain order) with
-    [merge]. With [domains = 1] everything runs on the calling domain. *)
+(** [map_reduce ~tasks ~init ~merge task] runs [task acc i] for every
+    [i] in [0 .. tasks-1] as described above
+    and returns the ordered reduction of the chunk accumulators ([init ()]
+    directly when [tasks = 0]).
+
+    [domains] defaults to {!default_domains}; [chunk] to
+    {!default_chunk}. Both must be [>= 1].
+
+    [obs]: merge every participating domain's {!domain_metrics} registry
+    into this one after the join barrier (coordinator first, then workers
+    in spawn order — counters, timers and histograms accumulate, so their
+    totals are deterministic; gauges take the last merged value and are
+    best avoided inside tasks). The engine also records [parallel.tasks],
+    [parallel.chunks] and [parallel.domains] counters. Trace sinks are
+    deliberately {e not} shared across domains — a sink stays
+    single-writer; aggregate per-chunk accumulators (e.g.
+    {!Mis_obs.Fairness.t}) and let the engine merge them instead. *)

@@ -148,6 +148,76 @@ let test_registry () =
   Alcotest.(check bool) "unique ids" true
     (List.length ids = List.length (List.sort_uniq compare ids))
 
+(* Config: FAIRMIS_DOMAINS must be >= 1; anything else falls back to the
+   engine default (None). *)
+
+let test_config_domains_validation () =
+  let domains_of v =
+    (Config.load ~getenv:(env [ ("FAIRMIS_DOMAINS", v) ]) ()).Config.domains
+  in
+  Alcotest.(check bool) "valid" true (domains_of "4" = Some 4);
+  Alcotest.(check bool) "zero rejected" true (domains_of "0" = None);
+  Alcotest.(check bool) "negative rejected" true (domains_of "-3" = None);
+  Alcotest.(check bool) "garbage rejected" true (domains_of "many" = None);
+  Alcotest.(check bool) "unset" true (domains_of "" = None)
+
+(* Golden experiment output: enabling parallelism must not move a single
+   digit. The rows below were produced at [domains = 1] and are pinned;
+   the same measurement at 4 domains has to reproduce them exactly. *)
+
+let faults_rows domains =
+  let params =
+    { Mis_exp.Faults.n = 40; trials = 30; rates = [ 0.; 0.05 ]; repeats = 2;
+      seed = 3; domains; csv = None }
+  in
+  Mis_exp.Faults.measure params
+  |> List.map (fun c ->
+         Printf.sprintf "%s,%.2f,%d,%d,%.4f,%.4f,%.4f,%.4f,%.4f"
+           c.Mis_exp.Faults.algorithm c.Mis_exp.Faults.drop
+           c.Mis_exp.Faults.trials c.Mis_exp.Faults.valid
+           c.Mis_exp.Faults.mean_rounds c.Mis_exp.Faults.mean_dropped
+           c.Mis_exp.Faults.factor c.Mis_exp.Faults.min_freq
+           c.Mis_exp.Faults.max_freq)
+
+let faults_golden =
+  [ "Luby's,0.00,30,30,11.0667,0.0000,5.0000,0.1667,0.8333";
+    "Luby's,0.05,30,13,11.2667,10.2000,5.2000,0.1667,0.8667";
+    "FairTree,0.00,30,30,323.0000,0.0000,3.2857,0.2333,0.7667";
+    "FairTree,0.05,30,28,323.6667,698.3000,2.7500,0.2667,0.7333" ]
+
+let test_faults_rows_domain_invariant () =
+  Alcotest.(check (list string)) "serial matches golden" faults_golden
+    (faults_rows (Some 1));
+  Alcotest.(check (list string)) "4 domains matches golden" faults_golden
+    (faults_rows (Some 4))
+
+let test_estimate_domain_invariant () =
+  (* The fig4 pipeline's core: a seeded Monte Carlo estimate over a tree.
+     Pinned at domains = 1; parallel runs must agree to the last digit. *)
+  let view =
+    View.full
+      (Mis_workload.Trees.random_prufer (Mis_util.Splitmix.of_seed 8) ~n:40)
+  in
+  let summary domains =
+    let cfg =
+      { Mis_stats.Montecarlo.trials = 300; base_seed = 5; domains }
+    in
+    let e =
+      Mis_stats.Montecarlo.estimate cfg view (fun ~seed ->
+          Fairmis.Luby.run view (Fairmis.Rand_plan.make seed))
+    in
+    Printf.sprintf "factor=%.6f min=%.6f max=%.6f"
+      (Mis_stats.Empirical.inequality_factor e)
+      (Mis_stats.Empirical.min_frequency e)
+      (Mis_stats.Empirical.max_frequency e)
+  in
+  let golden = "factor=7.108108 min=0.123333 max=0.876667" in
+  Alcotest.(check string) "serial matches golden" golden (summary (Some 1));
+  Alcotest.(check string) "4 domains matches golden" golden
+    (summary (Some 4));
+  Alcotest.(check string) "8 domains matches golden" golden
+    (summary (Some 8))
+
 (* Workloads: Table I rows carry the paper's numbers. *)
 
 let test_workloads_paper_numbers () =
@@ -164,7 +234,14 @@ let suite =
         Alcotest.test_case "full mode" `Quick test_config_full_mode;
         Alcotest.test_case "overrides" `Quick test_config_overrides;
         Alcotest.test_case "garbage ignored" `Quick test_config_garbage_ignored;
-        Alcotest.test_case "montecarlo forwarding" `Quick test_config_montecarlo ] );
+        Alcotest.test_case "montecarlo forwarding" `Quick test_config_montecarlo;
+        Alcotest.test_case "domains validation" `Quick
+          test_config_domains_validation ] );
+    ( "exp.golden",
+      [ Alcotest.test_case "faults rows domain-invariant" `Slow
+          test_faults_rows_domain_invariant;
+        Alcotest.test_case "estimate domain-invariant" `Quick
+          test_estimate_domain_invariant ] );
     ( "exp.render",
       [ Alcotest.test_case "table" `Quick test_table_render;
         Alcotest.test_case "float cell" `Quick test_table_float_cell;

@@ -1,0 +1,319 @@
+(* The parallel experiment engine's determinism contract, exception
+   safety and observability merging (Mis_stats.Parallel).
+
+   The engine's promise: output depends only on (tasks, chunk), never on
+   the domain count or scheduling. The properties here drive it across
+   domains ∈ {1, 2, 3, 8} and arbitrary chunk sizes, with an
+   order-sensitive accumulator (list concatenation), so any reduction
+   reordering — not just miscounting — fails the suite. *)
+
+module Parallel = Mis_stats.Parallel
+module Metrics = Mis_obs.Metrics
+
+(* Ordered collection: the merged value is the exact task-index order.
+   List append is associative with [] as identity, so the result must be
+   [f 0; f 1; ...] for EVERY (domains, chunk) combination. *)
+let collect ?chunk ~domains ~tasks f =
+  Parallel.map_reduce ~domains ?chunk ~tasks
+    ~init:(fun () -> ref [])
+    ~merge:(fun a b ->
+      a := !a @ !b;
+      a)
+    (fun acc i -> acc := !acc @ [ f i ])
+
+let test_ordered_reduction () =
+  let f i = (i * 7919) lxor (i lsl 3) in
+  let want = List.init 100 f in
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun chunk ->
+          let got = collect ~chunk ~domains ~tasks:100 f in
+          Alcotest.(check (list int))
+            (Printf.sprintf "order d=%d chunk=%d" domains chunk)
+            want !got)
+        [ 1; 3; 7; 100; 1000 ])
+    [ 1; 2; 3; 8 ]
+
+let prop_domain_count_invariance =
+  Helpers.qtest ~count:60 "engine output invariant in domain count"
+    QCheck.(pair (int_range 0 60) (int_range 1 17))
+    (fun (tasks, chunk) ->
+      let f i = (i * i) - (3 * i) in
+      let reference = List.init tasks f in
+      List.for_all
+        (fun domains ->
+          !(collect ~chunk ~domains ~tasks f) = reference)
+        [ 1; 2; 3; 8 ])
+
+let prop_chunk_size_invariance =
+  (* With an associative merge and identity init, the chunking must not
+     show through either. *)
+  Helpers.qtest ~count:60 "engine output invariant in chunk size"
+    QCheck.(pair (int_range 0 60) (int_range 1 8))
+    (fun (tasks, domains) ->
+      let f i = (2 * i) + 1 in
+      let reference = List.init tasks f in
+      List.for_all
+        (fun chunk -> !(collect ~chunk ~domains ~tasks f) = reference)
+        [ 1; 2; 5; 13; 64 ])
+
+(* Float accumulation is not associative, so bit-identity across domain
+   counts is only guaranteed at a fixed chunk size — which is exactly
+   what the engine promises (and the default chunk size is a function of
+   the task count alone). *)
+let test_float_bit_identity () =
+  let sum ~domains ?chunk () =
+    let r =
+      Parallel.map_reduce ~domains ?chunk ~tasks:1000
+        ~init:(fun () -> ref 0.)
+        ~merge:(fun a b ->
+          a := !a +. !b;
+          a)
+        (fun acc i -> acc := !acc +. (1. /. float_of_int (i + 1)))
+    in
+    Int64.bits_of_float !r
+  in
+  let want = sum ~domains:1 ~chunk:9 () in
+  List.iter
+    (fun domains ->
+      Alcotest.(check int64)
+        (Printf.sprintf "bit-identical float sum at %d domains" domains)
+        want
+        (sum ~domains ~chunk:9 ()))
+    [ 2; 3; 8 ];
+  (* default chunk: still invariant across domains, by construction *)
+  let want = sum ~domains:1 () in
+  List.iter
+    (fun domains ->
+      Alcotest.(check int64)
+        (Printf.sprintf "default chunk bit-identical at %d domains" domains)
+        want
+        (sum ~domains ()))
+    [ 2; 3; 8 ]
+
+let test_default_chunk_task_only () =
+  Alcotest.(check int) "zero tasks" 1 (Parallel.default_chunk ~tasks:0);
+  Alcotest.(check int) "small" 1 (Parallel.default_chunk ~tasks:64);
+  Alcotest.(check int) "10k" 157 (Parallel.default_chunk ~tasks:10_000);
+  (* ≤ 64 chunks *)
+  List.iter
+    (fun tasks ->
+      let chunk = Parallel.default_chunk ~tasks in
+      let nchunks = (tasks + chunk - 1) / chunk in
+      if nchunks > 64 then
+        Alcotest.failf "tasks=%d gives %d chunks" tasks nchunks)
+    [ 1; 63; 64; 65; 1000; 9999; 123_456 ]
+
+let test_validation () =
+  let run ?domains ?chunk ?tasks () =
+    ignore
+      (Parallel.map_reduce ?domains ?chunk ~tasks:(Option.value tasks ~default:4)
+         ~init:(fun () -> ())
+         ~merge:(fun () () -> ())
+         (fun () _ -> ()))
+  in
+  Alcotest.check_raises "negative tasks"
+    (Invalid_argument "Parallel.map_reduce: tasks") (fun () ->
+      run ~tasks:(-1) ());
+  Alcotest.check_raises "zero domains"
+    (Invalid_argument "Parallel.map_reduce: domains") (fun () ->
+      run ~domains:0 ());
+  Alcotest.check_raises "zero chunk"
+    (Invalid_argument "Parallel.map_reduce: chunk") (fun () ->
+      run ~chunk:0 ())
+
+(* --- exception safety --------------------------------------------------- *)
+
+exception Boom of int
+
+let raising_run ?(tasks = 64) ?(raise_at = fun i -> i = 5) ~domains () =
+  Parallel.map_reduce ~domains ~chunk:1 ~tasks
+    ~init:(fun () -> ref 0)
+    ~merge:(fun a b ->
+      a := !a + !b;
+      a)
+    (fun acc i -> if raise_at i then raise (Boom i) else acc := !acc + 1)
+
+let test_task_exception_propagates () =
+  (match raising_run ~domains:4 () with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom 5 -> ()
+  | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e));
+  (* The engine is intact afterwards: a normal run still works. *)
+  let total =
+    Parallel.map_reduce ~domains:4 ~tasks:100
+      ~init:(fun () -> ref 0)
+      ~merge:(fun a b ->
+        a := !a + !b;
+        a)
+      (fun acc i -> acc := !acc + i)
+  in
+  Alcotest.(check int) "after failure" 4950 !total
+
+(* Regression for the pre-engine bug: [map_reduce] never joined its
+   workers when the first stripe raised. Each leaked domain stays alive
+   until process exit, and the runtime refuses to spawn more than ~128
+   domains — so 60 raising runs at 4 domains each (180 spawn attempts)
+   only succeed if every run joins all of its workers before re-raising. *)
+let test_raising_runs_do_not_leak_domains () =
+  for _ = 1 to 60 do
+    match raising_run ~domains:4 () with
+    | _ -> Alcotest.fail "expected Boom"
+    | exception Boom 5 -> ()
+    | exception e ->
+      Alcotest.failf "domain leak? spawn failed with %s" (Printexc.to_string e)
+  done
+
+let test_every_task_raises_deterministic_error () =
+  (* All chunks raise concurrently; the engine must re-raise the failure
+     of the lowest-numbered chunk — index 0 — whatever the schedule. *)
+  for _ = 1 to 10 do
+    match
+      raising_run ~tasks:32 ~raise_at:(fun _ -> true) ~domains:4 ()
+    with
+    | _ -> Alcotest.fail "expected Boom"
+    | exception Boom 0 -> ()
+    | exception Boom i -> Alcotest.failf "non-deterministic error: Boom %d" i
+  done
+
+let test_init_exception_joins () =
+  (* A raising [init] is a chunk failure too. *)
+  for _ = 1 to 40 do
+    match
+      Parallel.map_reduce ~domains:4 ~chunk:1 ~tasks:16
+        ~init:(fun () -> failwith "init")
+        ~merge:(fun a _ -> a)
+        (fun _ _ -> ())
+    with
+    | _ -> Alcotest.fail "expected Failure"
+    | exception Failure msg when msg = "init" -> ()
+    | exception e ->
+      Alcotest.failf "domain leak? got %s" (Printexc.to_string e)
+  done
+
+(* --- observability merging ---------------------------------------------- *)
+
+let test_obs_merged_at_barrier () =
+  List.iter
+    (fun domains ->
+      let reg = Metrics.create () in
+      let tasks = 40 in
+      let total =
+        Parallel.map_reduce ~domains ~chunk:1 ~obs:reg ~tasks
+          ~init:(fun () -> ref 0)
+          ~merge:(fun a b ->
+            a := !a + !b;
+            a)
+          (fun acc i ->
+            (* per-domain registry: no synchronization, merged later *)
+            Metrics.incr (Metrics.counter (Parallel.domain_metrics ()) "t.trials");
+            Metrics.observe_int
+              (Metrics.histogram (Parallel.domain_metrics ()) "t.index")
+              i;
+            acc := !acc + 1)
+      in
+      Alcotest.(check int) "all tasks ran" tasks !total;
+      let snap = Metrics.snapshot reg in
+      Alcotest.(check (option int))
+        (Printf.sprintf "merged trial counter at %d domains" domains)
+        (Some tasks)
+        (Metrics.find_counter snap "t.trials");
+      Alcotest.(check (option int)) "engine task counter" (Some tasks)
+        (Metrics.find_counter snap "parallel.tasks");
+      Alcotest.(check (option int)) "engine chunk counter" (Some tasks)
+        (Metrics.find_counter snap "parallel.chunks"))
+    [ 1; 4 ]
+
+let test_obs_coordinator_registry_restored () =
+  let mine = Parallel.domain_metrics () in
+  Metrics.incr ~by:7 (Metrics.counter mine "outer.count");
+  let reg = Metrics.create () in
+  ignore
+    (Parallel.map_reduce ~domains:2 ~obs:reg ~tasks:8
+       ~init:(fun () -> ())
+       ~merge:(fun () () -> ())
+       (fun () _ ->
+         Metrics.incr (Metrics.counter (Parallel.domain_metrics ()) "inner.count")));
+  Alcotest.(check bool) "same registry object" true
+    (mine == Parallel.domain_metrics ());
+  Alcotest.(check (option int)) "outer counter untouched" (Some 7)
+    (Metrics.find_counter (Metrics.snapshot mine) "outer.count");
+  Alcotest.(check (option int)) "inner counts did not leak into outer" None
+    (Metrics.find_counter (Metrics.snapshot mine) "inner.count");
+  Alcotest.(check (option int)) "inner counts merged into obs" (Some 8)
+    (Metrics.find_counter (Metrics.snapshot reg) "inner.count")
+
+(* --- environment handling ----------------------------------------------- *)
+
+let with_domains_env value f =
+  let old = Sys.getenv_opt "FAIRMIS_DOMAINS" in
+  Unix.putenv "FAIRMIS_DOMAINS" value;
+  Fun.protect
+    ~finally:(fun () ->
+      (* putenv cannot unset; an empty/garbage value parses as unset. *)
+      Unix.putenv "FAIRMIS_DOMAINS" (Option.value old ~default:""))
+    f
+
+let test_default_domains_env () =
+  with_domains_env "3" (fun () ->
+      Alcotest.(check int) "env honored" 3 (Parallel.default_domains ()));
+  with_domains_env "17" (fun () ->
+      Alcotest.(check int) "env not capped at 8" 17 (Parallel.default_domains ()));
+  let fallback () =
+    Alcotest.(check bool) "recommended fallback" true
+      (Parallel.default_domains ()
+      >= 1
+      && Parallel.default_domains ()
+         <= max 1 (Domain.recommended_domain_count ()))
+  in
+  with_domains_env "0" fallback;
+  with_domains_env "-2" fallback;
+  with_domains_env "banana" fallback
+
+(* --- through the Montecarlo / Trials stack ------------------------------ *)
+
+let test_montecarlo_engine_stress () =
+  (* A seeded MIS workload across domain counts AND chunk sizes: the
+     full stack (Montecarlo over the engine) must agree with serial. *)
+  let view = Mis_graph.View.full (Helpers.random_tree ~seed:21 ~n:30) in
+  let run ~seed = Fairmis.Luby.run view (Fairmis.Rand_plan.make seed) in
+  let cfg domains = { Mis_stats.Montecarlo.trials = 120; base_seed = 7; domains = Some domains } in
+  let want = Mis_stats.Montecarlo.run (cfg 1) ~n:30 run in
+  List.iter
+    (fun domains ->
+      Alcotest.check Helpers.int_array
+        (Printf.sprintf "joins at %d domains" domains)
+        want
+        (Mis_stats.Montecarlo.run (cfg domains) ~n:30 run))
+    [ 2; 3; 8 ]
+
+let suite =
+  [ ( "parallel.engine",
+      [ Alcotest.test_case "ordered reduction" `Quick test_ordered_reduction;
+        prop_domain_count_invariance;
+        prop_chunk_size_invariance;
+        Alcotest.test_case "float bit-identity" `Quick test_float_bit_identity;
+        Alcotest.test_case "default chunk is task-only" `Quick
+          test_default_chunk_task_only;
+        Alcotest.test_case "argument validation" `Quick test_validation ] );
+    ( "parallel.exceptions",
+      [ Alcotest.test_case "task exception propagates" `Quick
+          test_task_exception_propagates;
+        Alcotest.test_case "raising runs do not leak domains" `Quick
+          test_raising_runs_do_not_leak_domains;
+        Alcotest.test_case "deterministic error choice" `Quick
+          test_every_task_raises_deterministic_error;
+        Alcotest.test_case "init exception joins workers" `Quick
+          test_init_exception_joins ] );
+    ( "parallel.obs",
+      [ Alcotest.test_case "per-domain metrics merged at barrier" `Quick
+          test_obs_merged_at_barrier;
+        Alcotest.test_case "coordinator registry restored" `Quick
+          test_obs_coordinator_registry_restored ] );
+    ( "parallel.config",
+      [ Alcotest.test_case "FAIRMIS_DOMAINS handling" `Quick
+          test_default_domains_env ] );
+    ( "parallel.stack",
+      [ Alcotest.test_case "montecarlo across domains and chunks" `Quick
+          test_montecarlo_engine_stress ] ) ]

@@ -436,6 +436,58 @@ let test_fairness_rendering () =
   let hist = Fairness.histogram ~bins:5 ~width:10 acc in
   Alcotest.(check bool) "histogram labelled" true (contains hist "[0.00,0.20)")
 
+(* [Fairness.merge] must be order-insensitive: the engine's ordered
+   reduction merges per-chunk accumulators left-to-right, but any
+   association/permutation of the same underlying runs has to produce the
+   same joins array (integer sums commute). *)
+let prop_fairness_merge_order_insensitive =
+  let mask = QCheck.(array_of_size (QCheck.Gen.return 5) bool) in
+  Helpers.qtest ~count:100 "fairness merge is order-insensitive"
+    QCheck.(triple (small_list mask) (small_list mask) (small_list mask))
+    (fun (ma, mb, mc) ->
+      let acc_of masks =
+        let a = Fairness.create ~n:5 in
+        List.iter (fun m -> Fairness.record a ~in_mis:m) masks;
+        a
+      in
+      let result parts =
+        match List.map acc_of parts with
+        | [] -> Fairness.create ~n:5
+        | first :: rest ->
+          List.iter (fun b -> Fairness.merge first b) rest;
+          first
+      in
+      (* (A·B)·C, A·(B·C) and C·B·A over fresh accumulators. *)
+      let left = result [ ma; mb; mc ] in
+      let right =
+        let bc = result [ mb; mc ] in
+        let a = acc_of ma in
+        Fairness.merge a bc;
+        a
+      in
+      let rev = result [ mc; mb; ma ] in
+      let key a = (Fairness.runs a, Array.to_list (Fairness.joins a)) in
+      key left = key right && key left = key rev)
+
+let test_fairness_merge_matches_single_accumulator () =
+  (* Partitioned accumulation through the parallel engine agrees with one
+     serial accumulator over the same seeded runs. *)
+  let view = View.full (Helpers.random_tree ~seed:4 ~n:24) in
+  let serial = Fairness.create ~n:24 in
+  for seed = 0 to 79 do
+    Fairness.record serial
+      ~in_mis:(Fairmis.Luby.run view (Fairmis.Rand_plan.make seed))
+  done;
+  let spec = { Mis_exp.Trials.trials = 80; seed = 0; domains = Some 4 } in
+  let merged =
+    Mis_exp.Trials.fairness spec ~n:24 (fun acc ~seed ->
+        Fairness.record acc
+          ~in_mis:(Fairmis.Luby.run view (Fairmis.Rand_plan.make seed)))
+  in
+  Alcotest.(check int) "runs" (Fairness.runs serial) (Fairness.runs merged);
+  Alcotest.check Helpers.int_array "joins" (Fairness.joins serial)
+    (Fairness.joins merged)
+
 (* --- profiler ----------------------------------------------------------- *)
 
 let test_prof_tree () =
@@ -513,6 +565,35 @@ let test_prof_report_format () =
   Alcotest.(check bool) "header" true (contains r "span");
   Alcotest.(check bool) "alpha row" true (contains r "alpha");
   Alcotest.(check bool) "beta indented" true (contains r "\n  beta")
+
+let test_prof_multidomain_spans_merge_once () =
+  (* Spans opened on worker domains land in those domains' DLS profilers;
+     after the engine joins its workers, [global_tree] must show ONE
+     merged node per span name with the calls of every domain summed —
+     whatever the domain count. *)
+  List.iter
+    (fun domains ->
+      let tasks = 40 in
+      let name = Printf.sprintf "test.mdspan.%d" domains in
+      ignore
+        (Mis_stats.Parallel.map_reduce ~domains ~chunk:1 ~tasks
+           ~init:(fun () -> ())
+           ~merge:(fun () () -> ())
+           (fun () _ ->
+             Prof.span (Prof.global ()) name (fun () ->
+                 ignore (Sys.opaque_identity 0))));
+      let hits =
+        List.filter (fun s -> s.Prof.s_name = name) (Prof.global_tree ())
+      in
+      match hits with
+      | [ s ] ->
+        Alcotest.(check int)
+          (Printf.sprintf "calls summed across %d domains" domains)
+          tasks s.Prof.s_calls
+      | l ->
+        Alcotest.failf "expected one merged %s node, got %d" name
+          (List.length l))
+    [ 1; 4 ]
 
 (* --- bench history ------------------------------------------------------ *)
 
@@ -657,6 +738,9 @@ let suite =
         Alcotest.test_case "fairness sink" `Quick test_fairness_sink;
         Alcotest.test_case "fairness never-joined" `Quick
           test_fairness_never_joined;
+        prop_fairness_merge_order_insensitive;
+        Alcotest.test_case "fairness merge vs single accumulator" `Quick
+          test_fairness_merge_matches_single_accumulator;
         Alcotest.test_case "fairness rendering" `Quick
           test_fairness_rendering;
         Alcotest.test_case "prof tree" `Quick test_prof_tree;
@@ -664,6 +748,8 @@ let suite =
           test_prof_exception_safe;
         Alcotest.test_case "prof merge forest" `Quick test_prof_merge_forest;
         Alcotest.test_case "prof to metrics" `Quick test_prof_to_metrics;
+        Alcotest.test_case "prof multi-domain merge" `Quick
+          test_prof_multidomain_spans_merge_once;
         Alcotest.test_case "prof report format" `Quick
           test_prof_report_format;
         Alcotest.test_case "bench history round-trip" `Quick

@@ -95,6 +95,34 @@ let test_joint_correlation_signs () =
   Alcotest.(check (float 1e-9)) "corr +1" 1.0 (Joint.correlation j 0);
   Alcotest.(check (float 1e-9)) "corr -1" (-1.0) (Joint.correlation j 1)
 
+let test_joint_merge () =
+  let record_all j masks = List.iter (Joint.record j) masks in
+  let pairs = [| (0, 1); (1, 2) |] in
+  let masks =
+    [ [| true; true; false |]; [| true; false; true |];
+      [| false; true; true |]; [| true; true; true |] ]
+  in
+  let whole = Joint.create ~pairs in
+  record_all whole masks;
+  let a = Joint.create ~pairs and b = Joint.create ~pairs in
+  record_all a [ List.nth masks 0; List.nth masks 1 ];
+  record_all b [ List.nth masks 2; List.nth masks 3 ];
+  Joint.merge ~into:a b;
+  Alcotest.(check int) "trials" (Joint.trials whole) (Joint.trials a);
+  List.iter
+    (fun i ->
+      Alcotest.(check (float 1e-9)) "joint p"
+        (Joint.joint_probability whole i)
+        (Joint.joint_probability a i);
+      Alcotest.(check (float 1e-9)) "correlation" (Joint.correlation whole i)
+        (Joint.correlation a i))
+    [ 0; 1 ];
+  let other = Joint.create ~pairs:[| (0, 2) |] in
+  Alcotest.(check bool) "pair mismatch refused" true
+    (match Joint.merge ~into:a other with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
 let test_joint_degenerate () =
   let j = Joint.create ~pairs:[| (0, 1) |] in
   Joint.record j [| true; true |];
@@ -119,8 +147,8 @@ let test_map_reduce_sum () =
   let total =
     Parallel.map_reduce ~domains:4 ~tasks:1000
       ~init:(fun () -> ref 0)
-      ~task:(fun acc i -> acc := !acc + i)
       ~merge:(fun a b -> a := !a + !b; a)
+      (fun acc i -> acc := !acc + i)
   in
   Alcotest.(check int) "sum" (999 * 1000 / 2) !total
 
@@ -128,8 +156,8 @@ let test_map_reduce_single_domain () =
   let total =
     Parallel.map_reduce ~domains:1 ~tasks:100
       ~init:(fun () -> ref 0)
-      ~task:(fun acc i -> acc := !acc + i)
       ~merge:(fun a b -> a := !a + !b; a)
+      (fun acc i -> acc := !acc + i)
   in
   Alcotest.(check int) "sum" 4950 !total
 
@@ -137,8 +165,8 @@ let test_map_reduce_zero_tasks () =
   let v =
     Parallel.map_reduce ~domains:3 ~tasks:0
       ~init:(fun () -> ref 42)
-      ~task:(fun _ _ -> ())
       ~merge:(fun a _ -> a)
+      (fun _ _ -> ())
   in
   Alcotest.(check int) "init only" 42 !v
 
@@ -154,8 +182,13 @@ let test_montecarlo_deterministic_across_domains () =
     { Montecarlo.trials; base_seed = 100; domains = Some domains }
   in
   let serial = Montecarlo.run (cfg 200 1) ~n:40 run_luby in
-  let parallel = Montecarlo.run (cfg 200 4) ~n:40 run_luby in
-  Alcotest.check Helpers.int_array "counts identical" serial parallel
+  List.iter
+    (fun domains ->
+      let parallel = Montecarlo.run (cfg 200 domains) ~n:40 run_luby in
+      Alcotest.check Helpers.int_array
+        (Printf.sprintf "counts identical at %d domains" domains)
+        serial parallel)
+    [ 2; 3; 4; 8 ]
 
 let test_montecarlo_check_runs () =
   let calls = Atomic.make 0 in
@@ -186,6 +219,7 @@ let suite =
     ( "stats.joint",
       [ Alcotest.test_case "basic counts" `Quick test_joint_basic;
         Alcotest.test_case "correlation signs" `Quick test_joint_correlation_signs;
+        Alcotest.test_case "merge" `Quick test_joint_merge;
         Alcotest.test_case "degenerate marginal" `Quick test_joint_degenerate;
         Alcotest.test_case "independent near zero" `Slow
           test_joint_independent_near_zero ] );
