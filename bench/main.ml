@@ -4,6 +4,7 @@
      dune exec bench/main.exe            # every experiment, then timing
      dune exec bench/main.exe -- table1 fig4
      dune exec bench/main.exe -- timing  # Bechamel micro-benchmarks only
+     dune exec bench/main.exe -- engine  # engine reuse vs per-trial rebuild
      dune exec bench/main.exe -- list
 
    Environment: FAIRMIS_TRIALS, FAIRMIS_FULL, FAIRMIS_NYC, FAIRMIS_DOMAINS,
@@ -73,10 +74,9 @@ let timing_tests () =
     stage "rounds/luby-simulator/tree-256" (fun next_seed ->
         Fairmis.Luby.run_distributed (Lazy.force sim_tree) (Rand_plan.make (next_seed ()))) ]
 
-(* Returns the per-workload nanosecond estimates for the trace file. *)
-let run_timing () =
-  print_endline "== timing: one simulated run per table/figure workload";
-  let tests = timing_tests () in
+(* Bechamel per-workload nanosecond estimates for a test list; the main
+   timing run and the engine pair share the estimator setup. *)
+let estimate_tests tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -84,34 +84,37 @@ let run_timing () =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
   in
-  let header = [ "workload"; "ns/run"; "ms/run" ] in
-  let estimates =
-    List.map
-      (fun test ->
-        let name = Test.Elt.name (List.hd (Test.elements test)) in
-        let results = Benchmark.all cfg instances test in
-        let analyzed = Analyze.all ols Instance.monotonic_clock results in
-        let ns = ref None in
-        Hashtbl.iter
-          (fun _name ols_result ->
-            match Analyze.OLS.estimates ols_result with
-            | Some [ v ] -> ns := Some v
-            | _ -> ())
-          analyzed;
-        (name, !ns))
-      tests
-  in
-  let rows =
-    List.map
-      (fun (name, ns) ->
-        match ns with
-        | Some v ->
-          [ name; Printf.sprintf "%.0f" v; Printf.sprintf "%.3f" (v /. 1e6) ]
-        | None -> [ name; "?"; "?" ])
-      estimates
-  in
-  Mis_exp.Table.print ~header rows;
-  print_newline ();
+  List.map
+    (fun test ->
+      let name = Test.Elt.name (List.hd (Test.elements test)) in
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      let ns = ref None in
+      Hashtbl.iter
+        (fun _name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ v ] -> ns := Some v
+          | _ -> ())
+        analyzed;
+      (name, !ns))
+    tests
+
+let print_estimates estimates =
+  Mis_exp.Table.print
+    ~header:[ "workload"; "ns/run"; "ms/run" ]
+    (List.map
+       (fun (name, ns) ->
+         match ns with
+         | Some v ->
+           [ name; Printf.sprintf "%.0f" v; Printf.sprintf "%.3f" (v /. 1e6) ]
+         | None -> [ name; "?"; "?" ])
+       estimates);
+  print_newline ()
+
+let run_timing () =
+  print_endline "== timing: one simulated run per table/figure workload";
+  let estimates = estimate_tests (timing_tests ()) in
+  print_estimates estimates;
   estimates
 
 (* Parallel-engine scaling: wall-clock of a fixed 1000-trial fairness
@@ -159,6 +162,90 @@ let run_parallel_scaling () =
       ( Printf.sprintf "parallel/fairness-n%d-trials%d/domains-%d" n trials d,
         Some (ns_per_trial s) ))
     secs
+
+(* Compiled-engine rows: the same simulator workload through the
+   per-trial-rebuild path (`Runtime.run`, which compiles the view every
+   call — the pre-engine cost model) and through a prebuilt
+   `Runtime.Engine` reused across trials. The single-run pair is measured
+   with Bechamel; the 1000-trial pair is wall-clock over the `Trials`
+   front end, where the reuse path builds one engine per domain-chunk via
+   `fairness_ctx`. *)
+let engine_timing_tests () =
+  let view = lazy (View.full (Helpers_bench.random_tree 1000)) in
+  let eng =
+    lazy (Mis_sim.Runtime.Engine.create (Lazy.force view))
+  in
+  [ stage "engine/single-run/luby-n1000-rebuild" (fun next_seed ->
+        Fairmis.Luby.run_distributed (Lazy.force view)
+          (Rand_plan.make (next_seed ())));
+    stage "engine/single-run/luby-n1000-reuse" (fun next_seed ->
+        Fairmis.Luby.run_distributed_on (Lazy.force eng)
+          (Rand_plan.make (next_seed ()))) ]
+
+let run_engine_scaling () =
+  print_endline
+    "== engine: 1000-trial simulator fairness, engine reuse vs per-trial \
+     rebuild";
+  let trials = 1000 and n = 1000 in
+  (* 250-trial chunks (vs the 16-trial scheduling default) so the
+     per-chunk engine build is amortised the way a long sweep would see
+     it; the rebuild path gets the same chunking, so the comparison stays
+     apples-to-apples. *)
+  let chunk = 250 in
+  let view = View.full (Helpers_bench.random_tree n) in
+  let work ~reuse domains =
+    let spec = { Mis_exp.Trials.trials; seed = 11; domains = Some domains } in
+    if reuse then
+      ignore
+        (Mis_exp.Trials.fairness_ctx ~chunk spec ~n
+           ~ctx:(fun () -> Mis_sim.Runtime.Engine.create view)
+           (fun eng acc ~seed ->
+             let o = Fairmis.Luby.run_distributed_on eng (Rand_plan.make seed) in
+             Mis_obs.Fairness.record acc ~in_mis:o.Mis_sim.Runtime.output))
+    else
+      ignore
+        (Mis_exp.Trials.fairness ~chunk spec ~n (fun acc ~seed ->
+             let o = Fairmis.Luby.run_distributed view (Rand_plan.make seed) in
+             Mis_obs.Fairness.record acc ~in_mis:o.Mis_sim.Runtime.output))
+  in
+  let time_best ~reuse domains =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      work ~reuse domains;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let ns_per_trial s = s *. 1e9 /. float_of_int trials in
+  let rows =
+    List.concat_map
+      (fun d ->
+        let rebuild = time_best ~reuse:false d in
+        let reuse = time_best ~reuse:true d in
+        Mis_exp.Table.print
+          ~header:[ "domains"; "path"; "s/run"; "ns/trial"; "speedup" ]
+          [ [ string_of_int d; "rebuild"; Printf.sprintf "%.3f" rebuild;
+              Printf.sprintf "%.0f" (ns_per_trial rebuild); "1.00x" ];
+            [ string_of_int d; "reuse"; Printf.sprintf "%.3f" reuse;
+              Printf.sprintf "%.0f" (ns_per_trial reuse);
+              Printf.sprintf "%.2fx" (rebuild /. reuse) ] ];
+        [ ( Printf.sprintf
+              "engine/fairness-n%d-trials%d-rebuild/domains-%d" n trials d,
+            Some (ns_per_trial rebuild) );
+          ( Printf.sprintf "engine/fairness-n%d-trials%d/domains-%d" n trials d,
+            Some (ns_per_trial reuse) ) ])
+      [ 1; 4 ]
+  in
+  print_newline ();
+  rows
+
+let run_engine_bench () =
+  print_endline "== engine: single simulated run, rebuild vs prebuilt engine";
+  let estimates = estimate_tests (engine_timing_tests ()) in
+  print_estimates estimates;
+  estimates @ run_engine_scaling ()
 
 let run_experiment ~metrics cfg id =
   match Mis_exp.Registry.find id with
@@ -228,14 +315,15 @@ let () =
         Printf.printf "%-10s %s (%s)\n" e.Mis_exp.Registry.id
           e.Mis_exp.Registry.title e.Mis_exp.Registry.paper_ref)
       Mis_exp.Registry.all;
-    print_endline "timing     Bechamel micro-benchmarks"
+    print_endline "timing     Bechamel micro-benchmarks";
+    print_endline "engine     compiled-engine reuse vs per-trial rebuild"
   | [] | [ "all" ] ->
     Printf.printf "fairmis bench — %s\n\n" (Mis_exp.Config.describe cfg);
     List.iter
       (fun e -> run_experiment ~metrics cfg e.Mis_exp.Registry.id)
       Mis_exp.Registry.all;
     let timing = run_timing () in
-    let timing = timing @ run_parallel_scaling () in
+    let timing = timing @ run_parallel_scaling () @ run_engine_bench () in
     append_history ~cfg timing;
     write_bench_trace ~cfg ~timing metrics;
     Mis_obs.Prof.print_report stderr
@@ -245,8 +333,9 @@ let () =
       (fun id ->
         if id = "timing" then begin
           let t = run_timing () in
-          timing := t @ run_parallel_scaling ()
+          timing := !timing @ t @ run_parallel_scaling ()
         end
+        else if id = "engine" then timing := !timing @ run_engine_bench ()
         else run_experiment ~metrics cfg id)
       ids;
     append_history ~cfg !timing;

@@ -258,6 +258,7 @@ let outcome_checks (s : Replay.summary) (o : Mis_sim.Runtime.outcome) =
     ("delivered messages", s.Replay.delivered, o.messages);
     ("dropped", s.Replay.dropped, o.dropped);
     ("delayed", s.Replay.delayed, o.delayed);
+    ("in flight", s.Replay.in_flight, o.in_flight);
     ("decided", s.Replay.decided, count_true o.decided);
     ("crashed", s.Replay.crashed, count_true o.crashed);
     ("joined", count_true s.Replay.in_mis, count_true o.output);
@@ -280,9 +281,9 @@ let print_summary ~width (s : Replay.summary) =
     (if s.Replay.complete then "" else " (incomplete: undecided nodes remain)");
   Printf.printf
     "events: %d sends (%d delivered, %d dropped, %d delayed), %d received, \
-     %d decided (%d joined), %d crashed, %d annotations\n"
+     %d in flight, %d decided (%d joined), %d crashed, %d annotations\n"
     s.Replay.sends s.Replay.delivered s.Replay.dropped s.Replay.delayed
-    s.Replay.received s.Replay.decided
+    s.Replay.received s.Replay.in_flight s.Replay.decided
     (count_true s.Replay.in_mis)
     s.Replay.crashed s.Replay.annotations;
   Printf.printf "messages/round  %s\n"
@@ -503,7 +504,13 @@ let bench_diff_cmd =
     Arg.(value & opt (some string) None
         & info [ "report" ] ~doc:"Write the diff report as JSON to this file.")
   in
-  let run old_path new_path threshold report =
+  let only =
+    Arg.(value & opt (some string) None
+        & info [ "only" ] ~docv:"PREFIX"
+            ~doc:"Compare only workloads whose name starts with \
+                  $(docv) (e.g. $(b,engine/single-run)).")
+  in
+  let run old_path new_path threshold report only =
     if threshold <= 0. then or_die (Error "threshold must be > 0");
     let module H = Mis_obs.Bench_history in
     let old_entry, new_entry =
@@ -525,6 +532,23 @@ let bench_diff_cmd =
                   "%s has fewer than two entries; pass a NEW history file"
                   old_path)))
     in
+    let old_entry, new_entry =
+      match only with
+      | None -> (old_entry, new_entry)
+      | Some prefix ->
+        let keep (t : H.test) =
+          String.starts_with ~prefix t.H.workload
+        in
+        let restrict (e : H.entry) =
+          { e with H.tests = List.filter keep e.H.tests }
+        in
+        let old_entry = restrict old_entry and new_entry = restrict new_entry in
+        if old_entry.H.tests = [] && new_entry.H.tests = [] then
+          or_die
+            (Error
+               (Printf.sprintf "no workload matches --only %s" prefix));
+        (old_entry, new_entry)
+    in
     let r = H.diff ~threshold ~old_entry ~new_entry () in
     print_string (H.render r);
     (match report with
@@ -538,7 +562,7 @@ let bench_diff_cmd =
     if H.has_regressions r then exit 1
   in
   Cmd.v (Cmd.info "bench-diff" ~doc)
-    Term.(const run $ old_arg $ new_arg $ threshold $ report)
+    Term.(const run $ old_arg $ new_arg $ threshold $ report $ only)
 
 (* faults *)
 

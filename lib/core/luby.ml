@@ -105,3 +105,9 @@ let run_distributed ?(stage = default_stage) ?tracer view plan =
   Mis_sim.Runtime.run ?tracer
     ~rng_of:(fun u -> Rand_plan.node_stream plan ~stage ~node:u)
     view prog
+
+let run_distributed_on ?(stage = default_stage) ?tracer engine plan =
+  let prog = program plan ~stage in
+  Mis_sim.Runtime.Engine.exec ?tracer
+    ~rng_of:(fun u -> Rand_plan.node_stream plan ~stage ~node:u)
+    engine prog

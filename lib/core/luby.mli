@@ -37,3 +37,13 @@ val run_distributed :
   Mis_sim.Runtime.outcome
 (** Simulator execution. The program emits a [("luby.phase", p)] probe as
     each node enters phase [p] (visible only when tracing). *)
+
+val run_distributed_on :
+  ?stage:int ->
+  ?tracer:Mis_obs.Trace.sink ->
+  (state, message) Mis_sim.Runtime.Engine.t ->
+  Rand_plan.t ->
+  Mis_sim.Runtime.outcome
+(** {!run_distributed} on a prebuilt {!Mis_sim.Runtime.Engine}: identical
+    results, amortizing view compilation across seeded trials (build the
+    engine once per domain and call this per trial). *)

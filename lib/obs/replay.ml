@@ -95,7 +95,10 @@ let event_of_json v =
       let* dropped = int "dropped" in
       let* delayed = int "delayed" in
       let* decided = int "decided" in
-      Ok (Trace.Run_end { rounds; messages; dropped; delayed; decided })
+      let* in_flight = int "in_flight" in
+      Ok
+        (Trace.Run_end
+           { rounds; messages; dropped; delayed; decided; in_flight })
     | kind -> Error (spf "unknown event type %S" kind))
 
 let parse_line line =
@@ -155,6 +158,7 @@ type summary = {
   decided : int;
   crashed : int;
   received : int;
+  in_flight : int;
   annotations : int;
   complete : bool;
   round_stats : round_stat array;
@@ -438,8 +442,11 @@ let replay ?(max_errors = 20) events =
                delivery c dst
          end);
   (* Totals vs the run_end record. *)
+  let run_in_flight = ref 0 in
   (match !run_end with
-  | Some (Trace.Run_end { rounds = r; messages; dropped; delayed; decided }) ->
+  | Some
+      (Trace.Run_end
+        { rounds = r; messages; dropped; delayed; decided; in_flight }) ->
     let delivered = !sends - !drops in
     if r <> rounds then
       err ck "run_end reports %d rounds but the last round is %d" r rounds;
@@ -453,7 +460,16 @@ let replay ?(max_errors = 20) events =
     if delayed <> !delays then
       err ck "run_end reports %d delayed but events show %d" delayed !delays;
     if decided <> !decides then
-      err ck "run_end reports %d decided but events show %d" decided !decides
+      err ck "run_end reports %d decided but events show %d" decided !decides;
+    (* Exact message conservation: every enqueued message is either
+       consumed by a recv or still in flight at run end, so
+       sends = recvs + drops + in_flight. *)
+    run_in_flight := in_flight;
+    if in_flight <> delivered - !received then
+      err ck
+        "run_end reports %d in flight but events show %d delivered - %d \
+         received = %d"
+        in_flight delivered !received (delivered - !received)
   | _ -> ());
   if !decides + !crashes > !active then
     err ck "%d decides + %d crashes exceed the %d active nodes" !decides
@@ -471,6 +487,7 @@ let replay ?(max_errors = 20) events =
       { program = !program; n; active = !active; rounds; sends = !sends;
         delivered = !sends - !drops; dropped = !drops; delayed = !delays;
         decided = !decides; crashed = !crashes; received = !received;
+        in_flight = !run_in_flight;
         annotations = !annotations;
         complete = !decides + !crashes = !active;
         round_stats = Array.of_list (List.rev !round_stats);

@@ -14,7 +14,9 @@
       at that round; deliveries may go unreceived only when the node
       already decided, crashed, or the run ended first;
     - {b accounting} — every [Round_end]'s and the [Run_end]'s counters
-      equal the per-event sums ([messages = sends - drops]);
+      equal the per-event sums ([messages = sends - drops]), and the
+      [Run_end]'s [in_flight] closes conservation exactly:
+      [sends = recvs + drops + in_flight];
     - {b crash silence} — a crashed node emits no send / recv / decide /
       annotate at or after its crash round;
     - {b decide partition} — each node decides at most once, decide and
@@ -59,6 +61,9 @@ type summary = {
   decided : int;
   crashed : int;
   received : int;  (** Total messages reported by [Recv] events. *)
+  in_flight : int;
+      (** [Run_end.in_flight]: enqueued messages never consumed by a
+          receive step; always [delivered - received]. *)
   annotations : int;
   complete : bool;  (** [decided + crashed = active]. *)
   round_stats : round_stat array;  (** Length [rounds + 1] (round 0 is

@@ -26,6 +26,7 @@ type event =
       dropped : int;
       delayed : int;
       decided : int;
+      in_flight : int;
     }
 
 let kind = function
@@ -89,11 +90,11 @@ let to_json e =
   | Span_begin { name } -> tag [ ("name", Json.str name) ]
   | Span_end { name; seconds } ->
     tag [ ("name", Json.str name); ("seconds", Json.float seconds) ]
-  | Run_end { rounds; messages; dropped; delayed; decided } ->
+  | Run_end { rounds; messages; dropped; delayed; decided; in_flight } ->
     tag
       [ ("rounds", Json.int rounds); ("messages", Json.int messages);
         ("dropped", Json.int dropped); ("delayed", Json.int delayed);
-        ("decided", Json.int decided) ]
+        ("decided", Json.int decided); ("in_flight", Json.int in_flight) ]
 
 (* --- sinks ------------------------------------------------------------- *)
 

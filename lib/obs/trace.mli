@@ -63,6 +63,9 @@ type event =
       dropped : int;
       delayed : int;
       decided : int;
+      in_flight : int;
+          (** Enqueued messages never consumed by a receive step:
+              [messages = in_flight + ] the sum of all [Recv] counts. *)
     }
 
 val kind : event -> string

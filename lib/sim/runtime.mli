@@ -6,6 +6,13 @@
     size so the [O(log n)]-bit CONGEST discipline of the model can be
     asserted in tests.
 
+    {b FIFO delivery contract.} A node's inbox lists its round's messages
+    in arrival (enqueue) order: messages from nodes earlier in the active
+    order come first, and multiple messages from one sender appear in the
+    order they were sent. Under fault-plan delays the same rule applies to
+    the delivery round — a delayed message is enqueued at send time into
+    its (later) delivery round and sorts by that enqueue time.
+
     An optional fault {!Fault.t} plan makes the network unreliable:
     messages can be dropped (randomly or adversarially) or delayed a
     bounded number of rounds, and nodes can crash-stop on a schedule. All
@@ -41,6 +48,13 @@ type outcome = {
           destination. 0 on a perfect network. *)
   delayed : int;
       (** Delivered messages that arrived at least one round late. *)
+  in_flight : int;
+      (** Enqueued messages never consumed by a [receive] step: deliveries
+          scheduled past the last executed round (or past [max_rounds]),
+          or addressed to a node that decided or crashed before their
+          delivery round. [messages = in_flight + ] the total of all
+          [Recv] message counts, so message conservation closes exactly:
+          sends = receives + drops + in-flight. *)
   crashed : bool array;
       (** Nodes that crash-stopped during the run (before deciding the
           flag matters; a crash after [Output] is a no-op). All-[false]
@@ -50,6 +64,43 @@ type outcome = {
           initial step (round 0), so the length is [rounds + 1]. Sums
           across rounds equal the corresponding totals above. *)
 }
+
+(** Compiled executor: the topology-dependent part of a run — active-slot
+    map, CSR neighbor index/id arrays, id lookup table, flat message
+    buffers — built once from a view and reused across seeded trials.
+    {!run} is a thin [create]-then-[exec] wrapper; Monte-Carlo drivers
+    that execute thousands of trials on one topology should create the
+    engine once (per domain) and call {!Engine.exec} per trial. *)
+module Engine : sig
+  type ('s, 'm) t
+  (** A compiled view plus reusable run state. One engine is {e not}
+      thread-safe: share nothing, build one engine per domain. The
+      [neighbor_ids] arrays exposed through {!Node_ctx.t} are shared
+      across all runs of the engine and must not be mutated by
+      programs. *)
+
+  val create : ?ids:int array -> Mis_graph.View.t -> ('s, 'm) t
+  (** Compile [view] (and the optional node-index-to-id map, default the
+      identity) into an engine. Performs the id validation documented
+      under {!run}, raising [Invalid_argument] with the same messages. *)
+
+  val view : ('s, 'm) t -> Mis_graph.View.t
+  (** The view the engine was compiled from. *)
+
+  val exec :
+    ?max_rounds:int ->
+    ?size_bits:('m -> int) ->
+    ?faults:Fault.t ->
+    ?tracer:Mis_obs.Trace.sink ->
+    rng_of:(int -> Mis_util.Splitmix.t) ->
+    ('s, 'm) t ->
+    ('s, 'm) Program.t ->
+    outcome
+  (** Run one seeded trial, resetting the engine's scratch state in
+      place. Semantics, event stream and outcome are bit-identical to
+      {!run} on the engine's view with the engine's ids — including under
+      fault plans and tracers, which may differ from call to call. *)
+end
 
 val run :
   ?max_rounds:int ->

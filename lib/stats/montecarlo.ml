@@ -6,26 +6,42 @@ type config = {
 
 let default_config = { trials = 10_000; base_seed = 1; domains = None }
 
-let run ?check ?obs config ~n run_once =
+(* The context value from [ctx ()] is created once per chunk, on the
+   claiming domain (it runs inside the engine's per-chunk [init]), and
+   rides in the accumulator pair untouched by merges — reuse without any
+   effect on determinism. *)
+let run_ctx ?check ?obs config ~n ~ctx run_once =
   if config.trials < 1 then invalid_arg "Montecarlo.run: trials";
-  Parallel.map_reduce ?domains:config.domains ?obs ~tasks:config.trials
-    ~init:(fun () -> Array.make n 0)
-    ~merge:(fun a b ->
-      for u = 0 to n - 1 do
-        a.(u) <- a.(u) + b.(u)
-      done;
-      a)
-    (fun joins i ->
-      let outcome = run_once ~seed:(config.base_seed + i) in
-      if Array.length outcome <> n then
-        invalid_arg "Montecarlo.run: outcome length";
-      (match check with Some f -> f outcome | None -> ());
-      for u = 0 to n - 1 do
-        if outcome.(u) then joins.(u) <- joins.(u) + 1
-      done)
+  snd
+    (Parallel.map_reduce ?domains:config.domains ?obs ~tasks:config.trials
+       ~init:(fun () -> (ctx (), Array.make n 0))
+       ~merge:(fun (c, a) (_, b) ->
+         for u = 0 to n - 1 do
+           a.(u) <- a.(u) + b.(u)
+         done;
+         (c, a))
+       (fun (c, joins) i ->
+         let outcome = run_once c ~seed:(config.base_seed + i) in
+         if Array.length outcome <> n then
+           invalid_arg "Montecarlo.run: outcome length";
+         (match check with Some f -> f outcome | None -> ());
+         for u = 0 to n - 1 do
+           if outcome.(u) then joins.(u) <- joins.(u) + 1
+         done))
 
-let estimate ?check config view run_once =
+let run ?check ?obs config ~n run_once =
+  run_ctx ?check ?obs config ~n
+    ~ctx:(fun () -> ())
+    (fun () ~seed -> run_once ~seed)
+
+let estimate_ctx ?check config ~ctx view run_once =
   let n = Mis_graph.View.n view in
-  let joins = run ?check config ~n run_once in
+  let joins = run_ctx ?check config ~n ~ctx run_once in
   let mask = Array.init n (Mis_graph.View.node_active view) in
   Empirical.of_mask ~mask ~trials:config.trials ~joins
+
+let estimate ?check config view run_once =
+  estimate_ctx ?check config
+    ~ctx:(fun () -> ())
+    view
+    (fun () ~seed -> run_once ~seed)

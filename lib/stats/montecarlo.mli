@@ -29,6 +29,20 @@ val run :
     correctness on all runs, so the experiments keep it on. [obs] is
     forwarded to {!Parallel.map_reduce}. *)
 
+val run_ctx :
+  ?check:(bool array -> unit) ->
+  ?obs:Mis_obs.Metrics.t ->
+  config ->
+  n:int ->
+  ctx:(unit -> 'ctx) ->
+  ('ctx -> seed:int -> bool array) ->
+  int array
+(** {!run} with a per-chunk context: [ctx ()] is evaluated once per chunk
+    on the domain that claimed it and passed to every trial of that
+    chunk. Intended for a compiled simulation engine reused across the
+    chunk's trials; merges ignore the context, so the counts stay
+    bit-identical to {!run} at any domain count. *)
+
 val estimate :
   ?check:(bool array -> unit) ->
   config ->
@@ -36,3 +50,12 @@ val estimate :
   (seed:int -> bool array) ->
   Empirical.t
 (** [run] restricted to the view's active nodes. *)
+
+val estimate_ctx :
+  ?check:(bool array -> unit) ->
+  config ->
+  ctx:(unit -> 'ctx) ->
+  Mis_graph.View.t ->
+  ('ctx -> seed:int -> bool array) ->
+  Empirical.t
+(** {!estimate} on {!run_ctx}. *)

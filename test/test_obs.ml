@@ -229,7 +229,8 @@ let test_jsonl_file () =
         [ Trace.Run_begin { program = "p"; n = 2; active = 2 };
           Trace.Send { round = 0; src = 0; dst = 1 };
           Trace.Run_end
-            { rounds = 1; messages = 1; dropped = 0; delayed = 0; decided = 2 }
+            { rounds = 1; messages = 1; dropped = 0; delayed = 0; decided = 2;
+              in_flight = 0 }
         ]
       in
       Trace.with_jsonl_file path (fun sink ->
@@ -277,6 +278,7 @@ let check_outcome_equal name (a : Runtime.outcome) (b : Runtime.outcome) =
   Alcotest.(check int) (name ^ ": bits") a.max_message_bits b.max_message_bits;
   Alcotest.(check int) (name ^ ": dropped") a.dropped b.dropped;
   Alcotest.(check int) (name ^ ": delayed") a.delayed b.delayed;
+  Alcotest.(check int) (name ^ ": in_flight") a.in_flight b.in_flight;
   Alcotest.check Helpers.bool_array (name ^ ": crashed") a.crashed b.crashed;
   Alcotest.(check bool) (name ^ ": round_stats") true
     (a.round_stats = b.round_stats)
@@ -341,9 +343,19 @@ let count_events evs =
     evs;
   fun k -> Option.value ~default:0 (Hashtbl.find_opt tbl k)
 
-let check_reconciliation name (o : Runtime.outcome) count =
+let check_reconciliation name (o : Runtime.outcome) evs =
+  let count = count_events evs in
   Alcotest.(check int) (name ^ ": send = delivered + dropped")
     (o.messages + o.dropped) (count "send");
+  (let received =
+     List.fold_left
+       (fun acc ev ->
+         match ev with Trace.Recv { messages; _ } -> acc + messages | _ -> acc)
+       0 evs
+   in
+   Alcotest.(check int) (name ^ ": delivered = received + in_flight")
+     o.messages
+     (received + o.in_flight));
   Alcotest.(check int) (name ^ ": drop") o.dropped (count "drop");
   Alcotest.(check int) (name ^ ": delay") o.delayed (count "delay");
   Alcotest.(check int) (name ^ ": crash")
@@ -368,7 +380,7 @@ let test_event_reconciliation_flood () =
   in
   Alcotest.(check bool) "something dropped" true (o.Runtime.dropped > 0);
   Alcotest.(check bool) "something delayed" true (o.Runtime.delayed > 0);
-  check_reconciliation "flood" o (count_events (events ()))
+  check_reconciliation "flood" o (events ())
 
 let test_event_reconciliation_robust_fairtree () =
   let view = View.full (Helpers.random_tree ~seed:21 ~n:24) in
@@ -379,7 +391,7 @@ let test_event_reconciliation_robust_fairtree () =
       ~tracer:sink view (Rand_plan.make 4)
   in
   Alcotest.(check bool) "something dropped" true (o.Mis_sim.Runtime.dropped > 0);
-  check_reconciliation "robust fairtree" o (count_events (events ()))
+  check_reconciliation "robust fairtree" o (events ())
 
 (* --- golden JSONL pin --------------------------------------------------- *)
 
@@ -411,10 +423,10 @@ let test_golden_fairtree_jsonl () =
     {|{"type":"run_begin","program":"fair_tree","n":4,"active":4}|}
     (List.hd lines);
   Alcotest.(check string) "last line"
-    {|{"type":"run_end","rounds":11,"messages":51,"dropped":0,"delayed":0,"decided":4}|}
+    {|{"type":"run_end","rounds":11,"messages":51,"dropped":0,"delayed":0,"decided":4,"in_flight":0}|}
     (List.nth lines (List.length lines - 1));
   let all = String.concat "\n" lines ^ "\n" in
-  Alcotest.(check string) "stream md5" "6bffebbc446a0a26e515d6143cf9bd7b"
+  Alcotest.(check string) "stream md5" "78ff3dde3614b6270cf7d71987d7ba36"
     (Digest.to_hex (Digest.string all))
 
 (* Determinism: two identical runs serialize identically. *)

@@ -175,7 +175,8 @@ let test_event_roundtrip () =
       Trace.Span_begin { name = "phase" };
       Trace.Span_end { name = "phase"; seconds = 0.25 };
       Trace.Run_end
-        { rounds = 1; messages = 1; dropped = 3; delayed = 1; decided = 1 } ]
+        { rounds = 1; messages = 1; dropped = 3; delayed = 1; decided = 1;
+          in_flight = 0 } ]
   in
   let back = roundtrip_events evs in
   Alcotest.(check int) "count" (List.length evs) (List.length back);
@@ -241,6 +242,11 @@ let test_replay_golden () =
   Alcotest.(check int) "delayed" 0 s.Replay.delayed;
   Alcotest.(check int) "decided" 4 s.Replay.decided;
   Alcotest.(check int) "crashed" 0 s.Replay.crashed;
+  Alcotest.(check int) "in_flight" o.Mis_sim.Runtime.in_flight
+    s.Replay.in_flight;
+  Alcotest.(check int) "conservation closes"
+    s.Replay.sends
+    (s.Replay.received + s.Replay.dropped + s.Replay.in_flight);
   Alcotest.(check int) "annotations" 12 s.Replay.annotations;
   Alcotest.(check bool) "complete" true s.Replay.complete;
   Alcotest.(check int) "round stats len" 12 (Array.length s.Replay.round_stats);
@@ -338,7 +344,8 @@ let test_replay_rejects_crash_silence_violation () =
         { round = 1; messages = 0; dropped = 0; delayed = 0; decided = 1;
           crashed = 0 };
       Trace.Run_end
-        { rounds = 1; messages = 1; dropped = 0; delayed = 0; decided = 1 } ]
+        { rounds = 1; messages = 1; dropped = 0; delayed = 0; decided = 1;
+          in_flight = 0 } ]
   in
   let msg = errors_of evs in
   Alcotest.(check bool)
@@ -355,7 +362,8 @@ let test_replay_rejects_double_decide () =
         { round = 0; messages = 0; dropped = 0; delayed = 0; decided = 2;
           crashed = 0 };
       Trace.Run_end
-        { rounds = 0; messages = 0; dropped = 0; delayed = 0; decided = 2 } ]
+        { rounds = 0; messages = 0; dropped = 0; delayed = 0; decided = 2;
+          in_flight = 0 } ]
   in
   let msg = errors_of evs in
   Alcotest.(check bool)
@@ -384,7 +392,12 @@ let test_replay_faulty_run () =
     (s.Replay.dropped > 0 && s.Replay.delayed > 0 && s.Replay.crashed > 0);
   Alcotest.(check int) "delivered" o.Mis_sim.Runtime.messages s.Replay.delivered;
   Alcotest.(check int) "dropped" o.Mis_sim.Runtime.dropped s.Replay.dropped;
-  Alcotest.(check int) "delayed" o.Mis_sim.Runtime.delayed s.Replay.delayed
+  Alcotest.(check int) "delayed" o.Mis_sim.Runtime.delayed s.Replay.delayed;
+  Alcotest.(check int) "in_flight" o.Mis_sim.Runtime.in_flight
+    s.Replay.in_flight;
+  Alcotest.(check int) "conservation closes"
+    s.Replay.sends
+    (s.Replay.received + s.Replay.dropped + s.Replay.in_flight)
 
 (* --- fairness accumulator ----------------------------------------------- *)
 

@@ -189,6 +189,80 @@ let test_halted_receive_nothing () =
      Total delivered: zero (round-0 has no sends). *)
   Alcotest.(check int) "deliveries" 0 outcome.Runtime.messages
 
+(* FIFO delivery contract: a node's inbox lists messages in send order —
+   senders in active order, and one sender's messages in the order they
+   were performed. The center of a 3-path hears 0's three messages (two
+   unicasts around a broadcast) before 2's three. *)
+let fifo_senders_program orders : (unit, int) Program.t =
+  { Program.name = "fifo";
+    init =
+      (fun ctx ->
+        let me = ctx.Node_ctx.id in
+        ( (),
+          if me = 1 then []
+          else
+            [ Program.Send (1, 10 * me);
+              Program.Broadcast ((10 * me) + 1);
+              Program.Send (1, (10 * me) + 2) ] ));
+    receive =
+      (fun ctx () inbox ->
+        if ctx.Node_ctx.id = 1 && inbox <> [] then orders := inbox :: !orders;
+        (Program.Output true, [])) }
+
+let check_fifo_order name run =
+  let orders = ref [] in
+  let o = run (fifo_senders_program orders) in
+  Alcotest.(check int) (name ^ ": messages") 6 o.Runtime.messages;
+  Alcotest.(check bool)
+    (name ^ ": inbox in send order") true
+    (!orders = [ [ (0, 0); (0, 1); (0, 2); (2, 20); (2, 21); (2, 22) ] ])
+
+let test_fifo_delivery_order () =
+  let view = View.full (path 3) in
+  check_fifo_order "perfect" (fun p -> Runtime.run ~rng_of view p);
+  (* A plan with a constant-zero drop function takes the faulty delivery
+     path (seq counters, delay rolls) without ever dropping or delaying:
+     the arrival order must be the same FIFO order. *)
+  let faults =
+    Mis_sim.Fault.create ~edge_drop:(fun ~src:_ ~dst:_ -> 0.) ()
+  in
+  check_fifo_order "faulty path" (fun p -> Runtime.run ~faults ~rng_of view p)
+
+(* Multi-round FIFO: one sender unicasts two distinguishable messages per
+   round; the receiver must see them in send order every round, on the
+   perfect and the (zero-effect) faulty path. *)
+let fifo_stream_program log : (int, int) Program.t =
+  { Program.name = "fifo_stream";
+    init =
+      (fun ctx ->
+        ( 0,
+          if ctx.Node_ctx.id = 0 then [ Program.Send (1, 0); Program.Send (1, 1) ]
+          else [] ));
+    receive =
+      (fun ctx r inbox ->
+        if ctx.Node_ctx.id = 1 && inbox <> [] then
+          log := List.map snd inbox :: !log;
+        if r >= 2 then (Program.Output true, [])
+        else if ctx.Node_ctx.id = 0 then
+          ( Program.Continue (r + 1),
+            [ Program.Send (1, 2 * (r + 1)); Program.Send (1, (2 * (r + 1)) + 1) ]
+          )
+        else (Program.Continue (r + 1), [])) }
+
+let test_fifo_multi_round () =
+  let check name faults =
+    let log = ref [] in
+    ignore
+      (Runtime.run ?faults ~rng_of (View.full (path 2))
+         (fifo_stream_program log));
+    Alcotest.(check bool)
+      (name ^ ": per-round send order") true
+      (List.rev !log = [ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ])
+  in
+  check "perfect" None;
+  check "faulty path"
+    (Some (Mis_sim.Fault.create ~edge_drop:(fun ~src:_ ~dst:_ -> 0.) ()))
+
 let suite =
   [ ( "sim.runtime",
       [ Alcotest.test_case "trivial program" `Quick test_trivial;
@@ -209,4 +283,8 @@ let suite =
         Alcotest.test_case "max rounds outcome well-formed" `Quick
           test_max_rounds_outcome_well_formed;
         Alcotest.test_case "halted nodes drop messages" `Quick
-          test_halted_receive_nothing ] ) ]
+          test_halted_receive_nothing;
+        Alcotest.test_case "fifo delivery order" `Quick
+          test_fifo_delivery_order;
+        Alcotest.test_case "fifo across rounds" `Quick test_fifo_multi_round ]
+    ) ]
