@@ -247,6 +247,53 @@ let run_engine_bench () =
   print_estimates estimates;
   estimates @ run_engine_scaling ()
 
+(* Dynamic-layer rows: mean wall-clock per churn batch served by the
+   incremental maintainer, against a maintainer whose ladder starts (and
+   ends) at Full_recompute. Both serve the identical pre-generated
+   stream, so the pair isolates exactly what the dirty-neighborhood
+   repair buys; like the engine pair, the ratio has a stable shape
+   across hardware and `bench-diff --only churn/repair-batch` can gate
+   the incremental row hard. *)
+let run_churn_bench () =
+  print_endline "== churn: incremental repair vs full recompute per batch";
+  let params = { Mis_workload.Churn.default with Mis_workload.Churn.batches = 60 } in
+  let stream =
+    Mis_workload.Churn.generate (Mis_util.Splitmix.of_seed 11) params
+  in
+  let bootstrap, churn =
+    match stream with b :: rest -> (b, rest) | [] -> assert false
+  in
+  let batches = float_of_int (List.length churn) in
+  let serve ladder =
+    let config = { Mis_dyn.Maintain.default_config with Mis_dyn.Maintain.ladder; seed = 5 } in
+    let m =
+      Mis_dyn.Maintain.create ~config
+        ~capacity:params.Mis_workload.Churn.capacity ()
+    in
+    ignore (Mis_dyn.Maintain.apply_batch m bootstrap);
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun b -> ignore (Mis_dyn.Maintain.apply_batch m b)) churn;
+    (Unix.gettimeofday () -. t0) /. batches
+  in
+  let best ladder =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let dt = serve ladder in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let incremental = best Mis_dyn.Maintain.default_config.Mis_dyn.Maintain.ladder in
+  let full = best [ Mis_dyn.Maintain.Full_recompute ] in
+  Mis_exp.Table.print
+    ~header:[ "path"; "ms/batch"; "speedup" ]
+    [ [ "incremental"; Printf.sprintf "%.3f" (incremental *. 1e3);
+        Printf.sprintf "%.2fx" (full /. incremental) ];
+      [ "full recompute"; Printf.sprintf "%.3f" (full *. 1e3); "1.00x" ] ];
+  print_newline ();
+  [ ("churn/repair-batch/campus-512", Some (incremental *. 1e9));
+    ("churn/repair-batch-full/campus-512", Some (full *. 1e9)) ]
+
 let run_experiment ~metrics cfg id =
   match Mis_exp.Registry.find id with
   | Some e ->
@@ -316,14 +363,18 @@ let () =
           e.Mis_exp.Registry.title e.Mis_exp.Registry.paper_ref)
       Mis_exp.Registry.all;
     print_endline "timing     Bechamel micro-benchmarks";
-    print_endline "engine     compiled-engine reuse vs per-trial rebuild"
+    print_endline "engine     compiled-engine reuse vs per-trial rebuild";
+    print_endline "dyn        incremental repair vs full recompute per batch"
   | [] | [ "all" ] ->
     Printf.printf "fairmis bench — %s\n\n" (Mis_exp.Config.describe cfg);
     List.iter
       (fun e -> run_experiment ~metrics cfg e.Mis_exp.Registry.id)
       Mis_exp.Registry.all;
     let timing = run_timing () in
-    let timing = timing @ run_parallel_scaling () @ run_engine_bench () in
+    let timing =
+      timing @ run_parallel_scaling () @ run_engine_bench ()
+      @ run_churn_bench ()
+    in
     append_history ~cfg timing;
     write_bench_trace ~cfg ~timing metrics;
     Mis_obs.Prof.print_report stderr
@@ -336,6 +387,7 @@ let () =
           timing := !timing @ t @ run_parallel_scaling ()
         end
         else if id = "engine" then timing := !timing @ run_engine_bench ()
+        else if id = "dyn" then timing := !timing @ run_churn_bench ()
         else run_experiment ~metrics cfg id)
       ids;
     append_history ~cfg !timing;

@@ -606,6 +606,231 @@ let faults_cmd =
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(const run $ n $ trials $ rates $ repeats $ seed_arg $ domains $ csv)
 
+(* churn-gen *)
+
+let churn_gen_cmd =
+  let doc =
+    "Generate a heavy-tailed churn event stream (JSONL with batch \
+     markers) over a Matérn WAP cloud, for 'serve'."
+  in
+  let dp = Mis_workload.Churn.default in
+  let capacity =
+    Arg.(value & opt int dp.Mis_workload.Churn.capacity
+        & info [ "capacity" ] ~doc:"Node slots (AP positions).")
+  in
+  let initial =
+    Arg.(value & opt int dp.Mis_workload.Churn.initial
+        & info [ "initial" ] ~doc:"Nodes up at bootstrap.")
+  in
+  let batches =
+    Arg.(value & opt int dp.Mis_workload.Churn.batches
+        & info [ "batches" ] ~doc:"Churn batches after the bootstrap.")
+  in
+  let arrivals =
+    Arg.(value & opt float dp.Mis_workload.Churn.arrival_mean
+        & info [ "arrivals" ] ~doc:"Poisson mean of arrivals per batch.")
+  in
+  let alpha =
+    Arg.(value & opt float dp.Mis_workload.Churn.lifetime_alpha
+        & info [ "alpha" ] ~doc:"Pareto lifetime shape (heavy tail <= 2).")
+  in
+  let crash_prob =
+    Arg.(value & opt float dp.Mis_workload.Churn.crash_prob
+        & info [ "crash-prob" ]
+            ~doc:"Probability a departure is a crash-stop.")
+  in
+  let flaps =
+    Arg.(value & opt float dp.Mis_workload.Churn.flap_mean
+        & info [ "flaps" ] ~doc:"Poisson mean of link flaps per batch.")
+  in
+  let radius =
+    Arg.(value & opt float dp.Mis_workload.Churn.radius
+        & info [ "radius" ] ~doc:"Unit-disk connectivity radius.")
+  in
+  let geo =
+    Arg.(value & opt (enum [ ("campus", Mis_workload.Geo.campus);
+                             ("city", Mis_workload.Geo.city) ])
+           dp.Mis_workload.Churn.geo
+        & info [ "geo" ] ~doc:"AP cloud: $(b,campus) or $(b,city).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+        & info [ "o"; "out" ] ~doc:"Output file (default stdout).")
+  in
+  let run capacity initial batches arrivals alpha crash_prob flaps radius geo
+      seed out =
+    let params =
+      { dp with
+        Mis_workload.Churn.capacity; initial; batches;
+        arrival_mean = arrivals; lifetime_alpha = alpha; crash_prob;
+        flap_mean = flaps; radius; geo }
+    in
+    (try Mis_workload.Churn.validate params
+     with Invalid_argument e -> or_die (Error e));
+    let stream =
+      Mis_workload.Churn.generate (Mis_util.Splitmix.of_seed seed) params
+    in
+    match out with
+    | None -> Mis_workload.Churn.write_jsonl stdout stream
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Mis_workload.Churn.write_jsonl oc stream);
+      Printf.eprintf "stream written to %s\n" path
+  in
+  Cmd.v (Cmd.info "churn-gen" ~doc)
+    Term.(const run $ capacity $ initial $ batches $ arrivals $ alpha
+          $ crash_prob $ flaps $ radius $ geo $ seed_arg $ out)
+
+(* serve *)
+
+let serve_cmd =
+  let doc =
+    "Maintain a live MIS over a JSONL stream of topology events \
+     (incremental repair with an escalating-radius ladder and full \
+     recompute as the degradation floor); prints serving statistics and \
+     verifies the final MIS."
+  in
+  let stream_arg =
+    Arg.(required & pos 0 (some string) None
+        & info [] ~docv:"STREAM.jsonl"
+            ~doc:"Event stream; $(b,-) reads stdin.")
+  in
+  let capacity =
+    Arg.(value & opt int 512 & info [ "capacity" ] ~doc:"Node slots.")
+  in
+  let batch_size =
+    Arg.(value & opt int 64
+        & info [ "batch-size" ]
+            ~doc:"Events per batch when the stream has no batch markers.")
+  in
+  let max_batches =
+    Arg.(value & opt (some int) None
+        & info [ "max-batches" ] ~doc:"Stop after this many batches.")
+  in
+  let strict =
+    Arg.(value & flag
+        & info [ "strict" ]
+            ~doc:"Hard-fail on an invariant violation instead of healing \
+                  with a full recompute.")
+  in
+  let check_every =
+    Arg.(value & opt int 1
+        & info [ "check-every" ]
+            ~doc:"Verify the live MIS every this many batches (0 = only \
+                  at end of stream).")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None
+        & info [ "timeout" ] ~doc:"Per-attempt repair budget, seconds.")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+        & info [ "metrics" ] ~doc:"Write the dyn.* metrics JSON here.")
+  in
+  let decisions_out =
+    Arg.(value & opt (some string) None
+        & info [ "decisions" ]
+            ~doc:"Write per-batch decide events (JSONL) here.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No per-batch progress.")
+  in
+  let run stream capacity batch_size max_batches strict check_every timeout
+      seed metrics_out decisions_out quiet =
+    let module Maintain = Mis_dyn.Maintain in
+    let module Serve = Mis_dyn.Serve in
+    let metrics = Mis_obs.Metrics.create () in
+    let with_decisions k =
+      match decisions_out with
+      | None -> k Mis_obs.Trace.null
+      | Some path -> Mis_obs.Trace.with_jsonl_file path k
+    in
+    let stats =
+      with_decisions (fun decisions ->
+          let config =
+            { Maintain.default_config with
+              strict; check_every; timeout; seed; metrics = Some metrics;
+              decisions }
+          in
+          let maintainer =
+            try Maintain.create ~config ~capacity ()
+            with Invalid_argument e -> or_die (Error e)
+          in
+          let on_batch (r : Maintain.report) =
+            if not quiet then
+              Printf.printf
+                "batch %4d: events=%-3d region=%-4d rounds=%-3d \
+                 attempts=%d%s flips=%-3d live=%d\n%!"
+                r.Maintain.batch r.Maintain.events
+                (Array.length r.Maintain.region_nodes) r.Maintain.rounds
+                r.Maintain.attempts
+                (if r.Maintain.full_recompute then "(full)"
+                 else if r.Maintain.escalated then "(esc)"
+                 else "")
+                r.Maintain.flips r.Maintain.live
+          in
+          let serve ic ~file =
+            try
+              Ok
+                (Serve.run ~batch_size ?max_batches ?file ~on_batch
+                   maintainer ic)
+            with Maintain.Invariant_violation e ->
+              Error (Printf.sprintf "invariant violation: %s" e)
+          in
+          let result =
+            if stream = "-" then serve stdin ~file:None
+            else begin
+              let ic = try open_in stream with Sys_error e -> or_die (Error e) in
+              Fun.protect
+                ~finally:(fun () -> close_in ic)
+                (fun () -> serve ic ~file:(Some stream))
+            end
+          in
+          let stats = match result with Ok s -> s | Error e -> or_die (Error e) in
+          (* End-of-stream verification: with check_every = 0 this is the
+             only invariant check, and it is cheap either way. *)
+          (match Maintain.check maintainer with
+          | Ok () -> ()
+          | Error e -> or_die (Error ("final MIS invalid: " ^ e)));
+          let g = Maintain.graph maintainer in
+          let mis = Maintain.mis maintainer in
+          let members =
+            Array.fold_left (fun a b -> if b then a + 1 else a) 0 mis
+          in
+          let pct q = Serve.percentile stats.Serve.repair_seconds q *. 1000. in
+          Printf.printf
+            "served %d batches (%d lines, %d events: %d applied, %d \
+             skipped, %d malformed)\n"
+            stats.Serve.batches stats.Serve.lines stats.Serve.events
+            stats.Serve.applied stats.Serve.skipped stats.Serve.malformed;
+          Printf.printf
+            "repair: p50=%.2fms p95=%.2fms p99=%.2fms, escalations=%d, \
+             full recomputes=%d, max region=%d, flips=%d\n"
+            (pct 0.50) (pct 0.95) (pct 0.99) stats.Serve.escalations
+            stats.Serve.full_recomputes stats.Serve.max_region
+            stats.Serve.flips;
+          Printf.printf "final MIS valid: %d members over %d alive nodes\n"
+            members (Mis_dyn.Dyn_graph.alive_count g);
+          stats)
+    in
+    (match metrics_out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Mis_obs.Metrics.to_json (Mis_obs.Metrics.snapshot metrics));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "metrics written to %s\n" path
+    | None -> ());
+    ignore stats
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ stream_arg $ capacity $ batch_size $ max_batches
+          $ strict $ check_every $ timeout $ seed_arg $ metrics_out
+          $ decisions_out $ quiet)
+
 (* experiment *)
 
 let experiment_cmd =
@@ -644,7 +869,8 @@ let () =
     Cmd.eval
       (Cmd.group info
          [ list_cmd; topo_cmd; run_cmd; measure_cmd; trace_cmd; analyze_cmd;
-           fairness_cmd; bench_diff_cmd; faults_cmd; experiment_cmd ])
+           fairness_cmd; bench_diff_cmd; faults_cmd; churn_gen_cmd;
+           serve_cmd; experiment_cmd ])
   in
   (* FAIRMIS_PROF=1: span tree (wall time + GC work) on stderr. *)
   Mis_obs.Prof.print_report stderr;

@@ -1,0 +1,154 @@
+module Graph = Mis_graph.Graph
+module View = Mis_graph.View
+
+type state = Absent | Alive | Crashed
+
+type t = {
+  capacity : int;
+  states : state array;
+  adj : (int, unit) Hashtbl.t array;  (* symmetric; kept across crashes *)
+  mutable alive_count : int;
+  mutable live_edges : int;  (* both endpoints alive *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Dyn_graph.create: capacity must be >= 1";
+  { capacity;
+    states = Array.make capacity Absent;
+    adj = Array.init capacity (fun _ -> Hashtbl.create 4);
+    alive_count = 0;
+    live_edges = 0 }
+
+let capacity t = t.capacity
+
+let check_node t u name =
+  if u < 0 || u >= t.capacity then
+    invalid_arg (Printf.sprintf "Dyn_graph.%s: node %d out of range" name u)
+
+let state t u =
+  check_node t u "state";
+  t.states.(u)
+
+let alive t u =
+  check_node t u "alive";
+  t.states.(u) = Alive
+
+let alive_count t = t.alive_count
+let edge_count t = t.live_edges
+
+let join t u =
+  check_node t u "join";
+  match t.states.(u) with
+  | Absent ->
+    t.states.(u) <- Alive;
+    t.alive_count <- t.alive_count + 1;
+    true
+  | Alive | Crashed -> false
+
+let mem_edge t u v =
+  check_node t u "mem_edge";
+  check_node t v "mem_edge";
+  Hashtbl.mem t.adj.(u) v
+
+let delete_edge_unchecked t u v =
+  Hashtbl.remove t.adj.(u) v;
+  Hashtbl.remove t.adj.(v) u;
+  if t.states.(u) = Alive && t.states.(v) = Alive then
+    t.live_edges <- t.live_edges - 1
+
+let leave t u =
+  check_node t u "leave";
+  match t.states.(u) with
+  | Alive ->
+    let neighbors = Hashtbl.fold (fun v () acc -> v :: acc) t.adj.(u) [] in
+    List.iter (fun v -> delete_edge_unchecked t u v) neighbors;
+    t.states.(u) <- Absent;
+    t.alive_count <- t.alive_count - 1;
+    true
+  | Absent | Crashed -> false
+
+let crash t u =
+  check_node t u "crash";
+  match t.states.(u) with
+  | Alive ->
+    (* Links stay but stop counting as live. *)
+    Hashtbl.iter
+      (fun v () -> if t.states.(v) = Alive then t.live_edges <- t.live_edges - 1)
+      t.adj.(u);
+    t.states.(u) <- Crashed;
+    t.alive_count <- t.alive_count - 1;
+    true
+  | Absent | Crashed -> false
+
+let insert_edge t u v =
+  check_node t u "insert_edge";
+  check_node t v "insert_edge";
+  if u = v || t.states.(u) <> Alive || t.states.(v) <> Alive
+     || Hashtbl.mem t.adj.(u) v
+  then false
+  else begin
+    Hashtbl.replace t.adj.(u) v ();
+    Hashtbl.replace t.adj.(v) u ();
+    t.live_edges <- t.live_edges + 1;
+    true
+  end
+
+let delete_edge t u v =
+  check_node t u "delete_edge";
+  check_node t v "delete_edge";
+  if u = v || t.states.(u) <> Alive || t.states.(v) <> Alive
+     || not (Hashtbl.mem t.adj.(u) v)
+  then false
+  else begin
+    delete_edge_unchecked t u v;
+    true
+  end
+
+let iter_adj_alive t u f =
+  check_node t u "iter_adj_alive";
+  Hashtbl.iter (fun v () -> if t.states.(v) = Alive then f v) t.adj.(u)
+
+let adj_alive_sorted t u =
+  let acc = ref [] in
+  iter_adj_alive t u (fun v -> acc := v :: !acc);
+  let a = Array.of_list !acc in
+  Array.sort compare a;
+  a
+
+let degree_alive t u =
+  let d = ref 0 in
+  iter_adj_alive t u (fun _ -> incr d);
+  !d
+
+let alive_nodes t =
+  let acc = ref [] in
+  for u = t.capacity - 1 downto 0 do
+    if t.states.(u) = Alive then acc := u :: !acc
+  done;
+  Array.of_list !acc
+
+(* Snapshot helpers. Edges are collected normalized (u < v) and sorted so
+   the CSR is a deterministic function of the graph's contents, not of
+   hash-table iteration order. *)
+let edges_where t keep =
+  let acc = ref [] in
+  for u = 0 to t.capacity - 1 do
+    if keep u then
+      Hashtbl.iter (fun v () -> if u < v && keep v then acc := (u, v) :: !acc)
+        t.adj.(u)
+  done;
+  let a = Array.of_list !acc in
+  Array.sort compare a;
+  a
+
+let to_view t =
+  let present u = t.states.(u) <> Absent in
+  let g = Graph.of_edge_array ~n:t.capacity (edges_where t present) in
+  let nodes = Array.init t.capacity present in
+  let crashed = Array.map (fun s -> s = Crashed) t.states in
+  (View.restrict ~nodes g, crashed)
+
+let live_view t =
+  let is_alive u = t.states.(u) = Alive in
+  let g = Graph.of_edge_array ~n:t.capacity (edges_where t is_alive) in
+  View.restrict ~nodes:(Array.init t.capacity is_alive) g

@@ -1,0 +1,120 @@
+module Json = Mis_obs.Json
+module Metrics = Mis_obs.Metrics
+
+let spf = Printf.sprintf
+
+type stats = {
+  batches : int;
+  lines : int;
+  events : int;
+  applied : int;
+  skipped : int;
+  malformed : int;
+  escalations : int;
+  full_recomputes : int;
+  max_region : int;
+  flips : int;
+  repair_seconds : float array;
+}
+
+let percentile samples q =
+  let n = Array.length samples in
+  if n = 0 then nan
+  else begin
+    let a = Array.copy samples in
+    Array.sort compare a;
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    a.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let run ?(batch_size = 64) ?max_batches ?file
+    ?(log = fun msg -> Printf.eprintf "%s\n%!" msg)
+    ?(on_batch = fun (_ : Maintain.report) -> ()) maintainer ic =
+  if batch_size < 1 then invalid_arg "Serve.run: batch_size must be >= 1";
+  (match max_batches with
+  | Some b when b < 1 -> invalid_arg "Serve.run: max_batches must be >= 1"
+  | _ -> ());
+  let where lineno =
+    match file with
+    | Some f -> spf "%s:%d" f lineno
+    | None -> spf "line %d" lineno
+  in
+  let metrics = (Maintain.config maintainer).Maintain.metrics in
+  let malformed lineno msg =
+    (match metrics with
+    | Some reg -> Metrics.incr (Metrics.counter reg "dyn.events.malformed")
+    | None -> ());
+    log (spf "%s: skipping malformed event: %s" (where lineno) msg)
+  in
+  let lines = ref 0 and events = ref 0 and mal = ref 0 in
+  let batches = ref 0 and applied = ref 0 and skipped = ref 0 in
+  let escalations = ref 0 and fulls = ref 0 and max_region = ref 0 in
+  let flips = ref 0 in
+  let seconds = ref [] in
+  let pending = ref [] and pending_n = ref 0 in
+  (* A batch marker flushes even an empty batch (a quiet period still
+     counts as a served batch); the size trigger and EOF only flush
+     pending events. *)
+  let flush () =
+    begin
+      let report = Maintain.apply_batch maintainer (List.rev !pending) in
+      pending := [];
+      pending_n := 0;
+      incr batches;
+      applied := !applied + report.Maintain.applied;
+      skipped := !skipped + report.Maintain.skipped;
+      if report.Maintain.escalated then incr escalations;
+      if report.Maintain.full_recompute then incr fulls;
+      max_region :=
+        max !max_region (Array.length report.Maintain.region_nodes);
+      flips := !flips + report.Maintain.flips;
+      seconds := report.Maintain.repair_seconds :: !seconds;
+      on_batch report
+    end
+  in
+  let stop = ref false in
+  (try
+     while not !stop do
+       let line = input_line ic in
+       incr lines;
+       let lineno = !lines in
+       if String.trim line <> "" then begin
+         match Json.parse line with
+         | Error e ->
+           incr mal;
+           malformed lineno e
+         | Ok v when Event.is_batch_marker v ->
+           flush ();
+           (match max_batches with
+           | Some b when !batches >= b -> stop := true
+           | _ -> ())
+         | Ok v -> (
+           match Event.of_json v with
+           | Error e ->
+             incr mal;
+             malformed lineno e
+           | Ok ev ->
+             incr events;
+             pending := ev :: !pending;
+             incr pending_n;
+             if !pending_n >= batch_size then begin
+               flush ();
+               match max_batches with
+               | Some b when !batches >= b -> stop := true
+               | _ -> ()
+             end)
+       end
+     done
+   with End_of_file -> ());
+  if not !stop && !pending_n > 0 then flush ();
+  { batches = !batches;
+    lines = !lines;
+    events = !events;
+    applied = !applied;
+    skipped = !skipped;
+    malformed = !mal;
+    escalations = !escalations;
+    full_recomputes = !fulls;
+    max_region = !max_region;
+    flips = !flips;
+    repair_seconds = Array.of_list (List.rev !seconds) }

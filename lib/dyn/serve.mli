@@ -1,0 +1,50 @@
+(** The resilient serve loop: consume a JSONL stream of topology events
+    ({!Event}) from a channel, batch them, and drive a {!Maintain.t},
+    skipping (and counting) malformed lines with their position — the
+    long-running half of [fairmis_cli serve].
+
+    Batching: events accumulate until either [batch_size] events are
+    pending or a [{"type":"batch"}] flush marker arrives; a marker
+    flushes even an empty batch (a quiet period still counts), and
+    end-of-stream flushes any tail. Errors on a line never abort the
+    loop — the event is skipped, counted into [dyn.events.malformed]
+    (when the maintainer carries a metrics registry) and reported
+    through [log] as ["FILE:LINE: skipping malformed event: ..."]. *)
+
+type stats = {
+  batches : int;
+  lines : int;  (** Lines read, including blank and malformed ones. *)
+  events : int;  (** Well-formed events handed to the maintainer. *)
+  applied : int;
+  skipped : int;  (** Inapplicable events (see {!Maintain.report}). *)
+  malformed : int;  (** Unparseable lines skipped. *)
+  escalations : int;  (** Batches that climbed past the first rung. *)
+  full_recomputes : int;
+  max_region : int;  (** Largest per-batch region the program re-ran on. *)
+  flips : int;  (** Total membership changes. *)
+  repair_seconds : float array;  (** Per-batch repair latency, in batch
+                                     order — percentile material. *)
+}
+
+val percentile : float array -> float -> float
+(** Nearest-rank percentile ([percentile xs 0.99]); [nan] on empty. *)
+
+val run :
+  ?batch_size:int ->
+  ?max_batches:int ->
+  ?file:string ->
+  ?log:(string -> unit) ->
+  ?on_batch:(Maintain.report -> unit) ->
+  Maintain.t ->
+  in_channel ->
+  stats
+(** [run maintainer ic] reads until end-of-stream (or [max_batches]
+    applied batches). [batch_size] defaults to 64; [file] names the
+    input in malformed-line positions; [log] defaults to stderr;
+    [on_batch] observes every {!Maintain.report} (progress printing,
+    windowed fairness accumulation).
+
+    Exceptions from the maintainer ({!Maintain.Invariant_violation} in
+    strict mode) propagate — fail-fast is the point of strict serving.
+    @raise Invalid_argument on a non-positive [batch_size] or
+    [max_batches]. *)

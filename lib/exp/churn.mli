@@ -1,0 +1,46 @@
+(** Dynamic MIS under churn: serve a heavy-tailed event stream through
+    the incremental maintainer ({!Mis_dyn.Maintain}) and measure the
+    robustness story — repair locality (region size vs the live graph),
+    repair latency percentiles, escalations/full recomputes, and
+    windowed fairness over the nodes that stay up (ours; the paper's
+    WAP scenario, Sec. IX, made long-running). *)
+
+type params = {
+  churn : Mis_workload.Churn.params;
+  window : int;  (** Batches per fairness window. *)
+  seeds : int list;  (** One served stream per seed. *)
+  csv : string option;
+}
+
+val default_params : params
+
+type cell = {
+  seed : int;
+  batches : int;
+  events : int;
+  applied : int;
+  skipped : int;
+  live_mean : float;  (** Mean alive nodes across batches. *)
+  region_mean : float;  (** Mean re-decided region size. *)
+  region_max : int;
+  p50_ms : float;  (** Repair-latency percentiles, milliseconds. *)
+  p95_ms : float;
+  p99_ms : float;
+  escalations : int;
+  full_recomputes : int;
+  flips : int;
+  violations : int;  (** Checker violations (healed; 0 expected). *)
+  factor_median : float;
+      (** Median windowed inequality factor over nodes alive for the
+          whole window ([nan] with no finite window). *)
+  factor_max : float;
+  infinite_windows : int;  (** Windows where some always-up node was
+                               never in the MIS. *)
+}
+
+val measure_cell : ?metrics:Mis_obs.Metrics.t -> params -> seed:int -> cell
+val measure : ?metrics:Mis_obs.Metrics.t -> params -> cell list
+val header : string list
+val rows : cell list -> string list list
+val run_params : params -> unit
+val run : Config.t -> unit

@@ -40,7 +40,10 @@ let all =
       paper_ref = "Sec. III model, faulty networks (ours)"; run = Faults.run };
     { id = "fairness-obs"; title = "Inequality factors from trace decide events";
       paper_ref = "Table I via the trace pipeline (ours)";
-      run = Fairness_obs.run } ]
+      run = Fairness_obs.run };
+    { id = "churn"; title = "Dynamic MIS under heavy-tailed churn";
+      paper_ref = "Sec. IX WAP scenario, long-running (ours)";
+      run = Churn.run } ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
 let ids () = List.map (fun e -> e.id) all

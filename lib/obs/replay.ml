@@ -106,7 +106,12 @@ let parse_line line =
   | Error e -> Error e
   | Ok v -> event_of_json v
 
-let parse_lines lines =
+let parse_lines ?file lines =
+  let where lineno =
+    match file with
+    | Some f -> spf "%s:%d" f lineno
+    | None -> spf "line %d" lineno
+  in
   let rec go lineno acc = function
     | [] -> Ok (List.rev acc)
     | line :: rest ->
@@ -114,14 +119,14 @@ let parse_lines lines =
       else (
         match parse_line line with
         | Ok e -> go (lineno + 1) (e :: acc) rest
-        | Error e -> Error (spf "line %d: %s" lineno e))
+        | Error e -> Error (spf "%s: %s" (where lineno) e))
   in
   go 1 [] lines
 
 let parse_string s =
   parse_lines (String.split_on_char '\n' s)
 
-let of_file path =
+let of_jsonl path =
   match open_in path with
   | exception Sys_error e -> Error e
   | ic ->
@@ -134,7 +139,9 @@ let of_file path =
              lines := input_line ic :: !lines
            done
          with End_of_file -> ());
-        parse_lines (List.rev !lines))
+        parse_lines ~file:path (List.rev !lines))
+
+let of_file = of_jsonl
 
 (* --- replay ------------------------------------------------------------- *)
 

@@ -31,12 +31,19 @@ val event_of_json : Json.value -> (Trace.event, string) result
 val parse_line : string -> (Trace.event, string) result
 (** Parse one JSONL line. *)
 
-val parse_lines : string list -> (Trace.event list, string) result
+val parse_lines : ?file:string -> string list -> (Trace.event list, string) result
 (** Parse a whole stream; blank lines are skipped, errors are prefixed
-    with the 1-based line number. *)
+    with the position of the offending line — ["FILE:LINE:"] when [file]
+    is given, ["line LINE:"] otherwise (1-based either way). *)
 
 val parse_string : string -> (Trace.event list, string) result
+
+val of_jsonl : string -> (Trace.event list, string) result
+(** Read and parse a JSONL trace file; malformed lines are reported as
+    ["FILE:LINE: ..."] so the message is directly clickable/grep-able. *)
+
 val of_file : string -> (Trace.event list, string) result
+(** Alias of {!of_jsonl}. *)
 
 (** {1 Replay} *)
 

@@ -20,9 +20,14 @@ let create ?(seed = 0) ?(drop = 0.) ?edge_drop ?(crashes = []) ?(max_delay = 0)
   if not (drop >= 0. && drop <= 1.) then
     invalid_arg "Fault.create: drop must be in [0, 1]";
   if max_delay < 0 then invalid_arg "Fault.create: max_delay must be >= 0";
+  let seen = Hashtbl.create (List.length crashes) in
   List.iter
-    (fun (_, r) ->
-      if r < 0 then invalid_arg "Fault.create: crash round must be >= 0")
+    (fun (u, r) ->
+      if u < 0 then invalid_arg "Fault.create: crash node must be >= 0";
+      if r < 0 then invalid_arg "Fault.create: crash round must be >= 0";
+      if Hashtbl.mem seen u then
+        invalid_arg "Fault.create: node scheduled to crash twice";
+      Hashtbl.add seen u ())
     crashes;
   { seed; drop; edge_drop; crashes; max_delay; adversary }
 
@@ -41,8 +46,9 @@ let crash_rounds t ~n =
   let a = Array.make n max_int in
   List.iter
     (fun (u, r) ->
-      if u < 0 || u >= n then invalid_arg "Fault.crash_rounds: node out of range";
-      if a.(u) <> max_int then invalid_arg "Fault.crash_rounds: duplicate node";
+      (* Negative/duplicate nodes are already rejected by [create]; the
+         upper bound depends on [n] and so can only be checked here. *)
+      if u >= n then invalid_arg "Fault.crash_rounds: node out of range";
       a.(u) <- r)
     t.crashes;
   a

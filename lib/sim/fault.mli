@@ -49,7 +49,9 @@ val create :
     - [adversary] may additionally drop any message.
 
     @raise Invalid_argument if [drop] is outside [\[0, 1\]], [max_delay]
-    is negative, or a crash round is negative. *)
+    is negative, a crash node or round is negative, or a node is
+    scheduled to crash twice — bad schedules fail at construction, not
+    mid-run. *)
 
 val is_none : t -> bool
 (** [true] iff the plan can inject no fault (no positive drop probability
@@ -63,8 +65,9 @@ val adversary : t -> adversary option
 
 val crash_rounds : t -> n:int -> int array
 (** Per-node crash round, [max_int] for nodes that never crash.
-    @raise Invalid_argument if a scheduled node index is outside
-    [\[0, n)] or a node is scheduled twice. *)
+    @raise Invalid_argument if a scheduled node index is [>= n] (the
+    only constraint that needs the topology; the rest is enforced by
+    {!create}). *)
 
 val drop_roll : t -> round:int -> src:int -> dst:int -> seq:int -> float
 (** The keyed uniform draw in [\[0, 1)] deciding whether the [seq]-th

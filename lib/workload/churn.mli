@@ -1,0 +1,54 @@
+(** Heavy-tailed churn traffic over the Matérn WAP clouds: the event
+    source of the dynamic-MIS serving scenario.
+
+    A fixed universe of [capacity] access-point positions is sampled from
+    the {!Geo} cluster process; connectivity is the unit-disk graph at
+    [radius] over those positions (the classic wireless model, as in
+    {!Geo_graphs}). Churn then animates the cloud:
+
+    - {b sessions}: each node that comes up draws a Pareto([alpha],
+      [lifetime_min]) lifetime in batches — heavy-tailed, as AP uptimes
+      are: most reboots are quick, some sessions last the whole trace;
+    - {b arrivals}: a Poisson number of departed slots come back per
+      batch, joining with their unit-disk links to the currently-alive
+      cloud;
+    - {b crashes}: each departure is a crash-stop (slot dead forever)
+      with probability [crash_prob], a clean leave otherwise;
+    - {b link flaps}: a Poisson number of up links drop per batch and
+      come back [flap_down] batches later (radio fade), provided both
+      endpoints still live.
+
+    Every draw comes from the caller's {!Mis_util.Splitmix} stream, so a
+    stream is a pure function of the seed and the parameters. *)
+
+type params = {
+  capacity : int;  (** AP positions = node slots. *)
+  initial : int;  (** Nodes up at bootstrap (the first batch is their
+                      joins). *)
+  batches : int;  (** Churn batches after the bootstrap batch. *)
+  arrival_mean : float;  (** Poisson mean of arrivals per batch. *)
+  lifetime_min : float;  (** Pareto scale, in batches ([>= 1]). *)
+  lifetime_alpha : float;  (** Pareto shape; [<= 2] is heavy-tailed. *)
+  crash_prob : float;  (** Departure is a crash with this probability. *)
+  flap_mean : float;  (** Poisson mean of link flaps per batch. *)
+  flap_down : int;  (** Batches a flapped link stays down. *)
+  radius : float;  (** Unit-disk connectivity radius. *)
+  geo : Geo.params;  (** The cluster process behind the positions. *)
+}
+
+val default : params
+(** Campus-scale: capacity 512, 320 initial, Pareto(1.5) lifetimes,
+    ~12 arrivals and ~8 flaps per batch at radius 60 over {!Geo.campus}. *)
+
+val validate : params -> unit
+(** @raise Invalid_argument on out-of-range fields. *)
+
+val generate : Mis_util.Splitmix.t -> params -> Mis_dyn.Event.t list list
+(** The batched stream: element 0 is the bootstrap (joins of the initial
+    cloud), elements [1 .. batches] are churn. Streams are {e clean}:
+    every event applies against a maintainer that consumed the prefix
+    (no dead endpoints, no duplicate edges). *)
+
+val write_jsonl : out_channel -> Mis_dyn.Event.t list list -> unit
+(** One event per line with a [{"type":"batch"}] marker after every
+    batch — the wire form [fairmis_cli serve] consumes. *)

@@ -369,6 +369,67 @@ let test_surviving_mis_oracle () =
     (Invalid_argument "Check.surviving_view: crashed mask length") (fun () ->
       ignore (Check.is_surviving_mis view ~crashed:[| false |] set))
 
+(* Sequential greedy over the active nodes of a view: the reference MIS
+   for the surviving-subgraph properties below. *)
+let greedy_mis view =
+  let n = View.n view in
+  let set = Array.make n false in
+  for u = 0 to n - 1 do
+    if
+      View.node_active view u
+      && not (View.exists_adj view u (fun v -> set.(v)))
+    then set.(u) <- true
+  done;
+  set
+
+let arb_graph_and_crashes =
+  QCheck.(
+    pair
+      (pair Helpers.arb_size Helpers.arb_seed)
+      (pair (float_range 0. 1.) Helpers.arb_seed))
+
+let graph_of ((n, gseed), (crash_p, cseed)) =
+  let view = View.full (Helpers.random_graph ~seed:gseed ~n ~p:0.15) in
+  let rng = Splitmix.of_seed (cseed + 0x5E1F) in
+  let crashed =
+    Array.init n (fun _ -> Splitmix.float rng < crash_p)
+  in
+  (view, crashed)
+
+let prop_fresh_mis_of_survivors_passes_oracle =
+  Helpers.qtest ~count:200 "greedy MIS of the surviving view passes the oracle"
+    arb_graph_and_crashes
+    (fun input ->
+      let view, crashed = graph_of input in
+      let set = greedy_mis (Check.surviving_view view ~crashed) in
+      Check.is_surviving_mis view ~crashed set)
+
+let prop_all_crashed_accepts_empty_set =
+  Helpers.qtest ~count:50 "with every node crashed only the empty set remains"
+    (QCheck.pair Helpers.arb_size Helpers.arb_seed)
+    (fun (n, seed) ->
+      let view = View.full (Helpers.random_graph ~seed ~n ~p:0.2) in
+      let crashed = Array.make n true in
+      (* Vacuously an MIS: no survivors to cover, none to conflict. *)
+      Check.is_surviving_mis view ~crashed (Array.make n false))
+
+let test_surviving_crashed_isolated_node () =
+  (* 0-1 plus the isolated node 2; crashing 2 must not change what a
+     valid MIS of the pair looks like, and a crashed isolated member is
+     simply ignored by the surviving view. *)
+  let view = View.full (Graph.of_edges ~n:3 [ (0, 1) ]) in
+  let crashed = [| false; false; true |] in
+  Alcotest.(check bool) "member pair valid without the crashed isolate" true
+    (Check.is_surviving_mis view ~crashed [| true; false; false |]);
+  Alcotest.(check bool) "empty set is not maximal for the survivors" false
+    (Check.is_surviving_mis view ~crashed [| false; false; false |]);
+  (* Not crashed: the isolated node must be covered, i.e. join. *)
+  let no_crash = Array.make 3 false in
+  Alcotest.(check bool) "alive isolate must join" false
+    (Check.is_surviving_mis view ~crashed:no_crash [| true; false; false |]);
+  Alcotest.(check bool) "alive isolate joined" true
+    (Check.is_surviving_mis view ~crashed:no_crash [| true; false; true |])
+
 let test_crash_run_serves_survivors () =
   let view = View.full (Helpers.random_tree ~seed:20 ~n:150) in
   let plan = Rand_plan.make 9 in
@@ -395,6 +456,12 @@ let test_plan_validation () =
   Alcotest.check_raises "negative crash round"
     (Invalid_argument "Fault.create: crash round must be >= 0") (fun () ->
       ignore (Fault.create ~crashes:[ (0, -1) ] ()));
+  Alcotest.check_raises "negative crash node"
+    (Invalid_argument "Fault.create: crash node must be >= 0") (fun () ->
+      ignore (Fault.create ~crashes:[ (-3, 1) ] ()));
+  Alcotest.check_raises "duplicate crash node"
+    (Invalid_argument "Fault.create: node scheduled to crash twice")
+    (fun () -> ignore (Fault.create ~crashes:[ (2, 1); (2, 4) ] ()));
   Alcotest.check_raises "crash out of range"
     (Invalid_argument "Fault.crash_rounds: node out of range") (fun () ->
       ignore
@@ -443,5 +510,9 @@ let suite =
     ( "graph.check.surviving",
       [ Alcotest.test_case "surviving-subgraph oracle" `Quick
           test_surviving_mis_oracle;
+        Alcotest.test_case "crashed isolated node" `Quick
+          test_surviving_crashed_isolated_node;
+        prop_fresh_mis_of_survivors_passes_oracle;
+        prop_all_crashed_accepts_empty_set;
         Alcotest.test_case "crashy robust run serves survivors" `Quick
           test_crash_run_serves_survivors ] ) ]

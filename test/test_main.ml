@@ -7,4 +7,4 @@ let () =
     @ Test_stats.suite @ Test_parallel.suite @ Test_io.suite @ Test_exp.suite
     @ Test_edge_cases.suite
     @ Test_fairness.suite @ Test_obs.suite @ Test_replay.suite
-    @ Test_engine.suite)
+    @ Test_engine.suite @ Test_dyn.suite)

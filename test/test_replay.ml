@@ -214,6 +214,35 @@ let test_event_parse_errors () =
     Alcotest.(check bool) ("line number in " ^ e) true
       (String.length e >= 7 && String.sub e 0 7 = "line 3:")
 
+let test_of_jsonl_positions () =
+  (* of_jsonl reports malformed lines as "FILE:LINE: ..." so the message
+     is directly clickable; of_file is its alias. *)
+  let path = Filename.temp_file "fairmis_replay" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc
+        ({|{"type":"run_begin","program":"p","n":1,"active":1}|} ^ "\n\n"
+        ^ "definitely not json\n");
+      close_out oc;
+      let expect_prefix name = function
+        | Ok _ -> Alcotest.failf "%s accepted garbage" name
+        | Error e ->
+          let prefix = Printf.sprintf "%s:3:" path in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s error %S starts with %S" name e prefix)
+            true
+            (String.length e >= String.length prefix
+            && String.sub e 0 (String.length prefix) = prefix)
+      in
+      expect_prefix "of_jsonl" (Replay.of_jsonl path);
+      expect_prefix "of_file" (Replay.of_file path);
+      (match Replay.replay_file path with
+      | Ok _ -> Alcotest.fail "replay_file accepted garbage"
+      | Error errs ->
+        Alcotest.(check int) "single parse error" 1 (List.length errs)))
+
 (* --- replay: golden stream ---------------------------------------------- *)
 
 let golden_run () =
@@ -733,6 +762,8 @@ let suite =
         Alcotest.test_case "event round-trip" `Quick test_event_roundtrip;
         Alcotest.test_case "event parse errors" `Quick
           test_event_parse_errors;
+        Alcotest.test_case "of_jsonl file:line positions" `Quick
+          test_of_jsonl_positions;
         Alcotest.test_case "replay golden fairtree" `Quick test_replay_golden;
         Alcotest.test_case "replay golden via json" `Quick
           test_replay_golden_via_json;
