@@ -294,6 +294,53 @@ let run_churn_bench () =
   [ ("churn/repair-batch/campus-512", Some (incremental *. 1e9));
     ("churn/repair-batch-full/campus-512", Some (full *. 1e9)) ]
 
+(* Telemetry-overhead rows: the compiled-engine hot path (single
+   simulated run on a prebuilt engine) with the live-telemetry stack off
+   vs on. "On" means the full serving posture: a metrics registry with
+   the runtime-totals collector, a flight recorder, and the HTTP exposer
+   polling its listen socket on a background domain while the workload
+   runs. The engine itself never touches the telemetry lock, so the pair
+   should be within noise of each other — the printed overhead ratio is
+   the ISSUE's < 2% claim, and `bench-diff --only telemetry/single-run`
+   gates both rows against the committed baseline. A third row prices one
+   Sketch.add, the only per-observation cost the serve loop pays. *)
+let run_telemetry_bench () =
+  print_endline "== telemetry: engine hot path, live telemetry off vs on";
+  let view = lazy (View.full (Helpers_bench.random_tree 1000)) in
+  let eng = lazy (Mis_sim.Runtime.Engine.create (Lazy.force view)) in
+  let run next_seed =
+    Fairmis.Luby.run_distributed_on (Lazy.force eng)
+      (Rand_plan.make (next_seed ()))
+  in
+  let off_est =
+    estimate_tests [ stage "telemetry/single-run/luby-n1000-off" run ]
+  in
+  let reg = Mis_obs.Metrics.create () in
+  let telemetry = Mis_obs.Telemetry.create reg in
+  Mis_obs.Telemetry.add_collector telemetry Mis_sim.Runtime.collect_totals;
+  let server = Mis_obs.Telemetry.Http.start ~port:0 telemetry in
+  let on_est =
+    Fun.protect
+      ~finally:(fun () -> Mis_obs.Telemetry.Http.stop server)
+      (fun () ->
+        estimate_tests [ stage "telemetry/single-run/luby-n1000-on" run ])
+  in
+  let sketch = Mis_obs.Metrics.sketch reg "bench.lat" in
+  let sketch_est =
+    estimate_tests
+      [ stage "telemetry/sketch-add/p001" (fun next_seed ->
+            Mis_obs.Sketch.add sketch
+              (float_of_int (next_seed () land 1023) +. 1.)) ]
+  in
+  let estimates = off_est @ on_est @ sketch_est in
+  print_estimates estimates;
+  (match (off_est, on_est) with
+  | [ (_, Some off) ], [ (_, Some on) ] ->
+    Printf.printf "telemetry-on overhead: %+.2f%%\n\n"
+      (100. *. ((on /. off) -. 1.))
+  | _ -> ());
+  estimates
+
 let run_experiment ~metrics cfg id =
   match Mis_exp.Registry.find id with
   | Some e ->
@@ -364,7 +411,8 @@ let () =
       Mis_exp.Registry.all;
     print_endline "timing     Bechamel micro-benchmarks";
     print_endline "engine     compiled-engine reuse vs per-trial rebuild";
-    print_endline "dyn        incremental repair vs full recompute per batch"
+    print_endline "dyn        incremental repair vs full recompute per batch";
+    print_endline "telemetry  engine hot path with live telemetry off vs on"
   | [] | [ "all" ] ->
     Printf.printf "fairmis bench — %s\n\n" (Mis_exp.Config.describe cfg);
     List.iter
@@ -373,7 +421,7 @@ let () =
     let timing = run_timing () in
     let timing =
       timing @ run_parallel_scaling () @ run_engine_bench ()
-      @ run_churn_bench ()
+      @ run_churn_bench () @ run_telemetry_bench ()
     in
     append_history ~cfg timing;
     write_bench_trace ~cfg ~timing metrics;
@@ -388,6 +436,8 @@ let () =
         end
         else if id = "engine" then timing := !timing @ run_engine_bench ()
         else if id = "dyn" then timing := !timing @ run_churn_bench ()
+        else if id = "telemetry" then
+          timing := !timing @ run_telemetry_bench ()
         else run_experiment ~metrics cfg id)
       ids;
     append_history ~cfg !timing;

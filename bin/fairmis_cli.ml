@@ -727,21 +727,94 @@ let serve_cmd =
   in
   let metrics_out =
     Arg.(value & opt (some string) None
-        & info [ "metrics" ] ~doc:"Write the dyn.* metrics JSON here.")
+        & info [ "metrics"; "metrics-out" ]
+            ~doc:"Write the final metrics snapshot JSON here — on clean \
+                  shutdown and on an invariant-failure exit alike.")
   in
   let decisions_out =
     Arg.(value & opt (some string) None
         & info [ "decisions" ]
             ~doc:"Write per-batch decide events (JSONL) here.")
   in
+  let telemetry_port =
+    Arg.(value & opt (some int) None
+        & info [ "telemetry-port" ]
+            ~doc:"Serve live telemetry on 127.0.0.1:PORT while running: \
+                  $(b,/metrics) (OpenMetrics text) and $(b,/healthz) \
+                  (JSON). 0 picks an ephemeral port (printed).")
+  in
+  let slo =
+    Arg.(value & opt float 0.1
+        & info [ "slo" ]
+            ~doc:"Repair-latency budget in seconds; batches over it burn \
+                  the dyn.slo.breaches counter.")
+  in
+  let flight_out =
+    Arg.(value & opt (some string) None
+        & info [ "flight-recorder" ]
+            ~doc:"On an invariant-failure exit, dump the flight recorder \
+                  (recent decide events and batch reports, JSONL) here.")
+  in
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No per-batch progress.")
   in
   let run stream capacity batch_size max_batches strict check_every timeout
-      seed metrics_out decisions_out quiet =
+      seed metrics_out decisions_out telemetry_port slo flight_out quiet =
     let module Maintain = Mis_dyn.Maintain in
     let module Serve = Mis_dyn.Serve in
+    let module Telemetry = Mis_obs.Telemetry in
     let metrics = Mis_obs.Metrics.create () in
+    let telemetry =
+      match Telemetry.create ~slo metrics with
+      | t -> t
+      | exception Invalid_argument e -> or_die (Error e)
+    in
+    Telemetry.add_collector telemetry Mis_sim.Runtime.collect_totals;
+    let write_metrics () =
+      match metrics_out with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc
+          (Mis_obs.Metrics.to_json (Mis_obs.Metrics.snapshot metrics));
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "metrics written to %s\n" path
+    in
+    let dump_flight () =
+      match flight_out with
+      | None -> ()
+      | Some path ->
+        Telemetry.Recorder.dump_file (Telemetry.recorder telemetry) path;
+        Printf.eprintf "flight recorder dumped to %s\n%!" path
+    in
+    let server =
+      match telemetry_port with
+      | None -> None
+      | Some port -> (
+        match Telemetry.Http.start ~port telemetry with
+        | s ->
+          Printf.printf "telemetry: http://127.0.0.1:%d/metrics and /healthz\n%!"
+            (Telemetry.Http.port s);
+          Some s
+        | exception Unix.Unix_error (err, _, _) ->
+          or_die
+            (Error
+               (Printf.sprintf "cannot bind telemetry port %d: %s" port
+                  (Unix.error_message err))))
+    in
+    let stop_server () =
+      match server with Some s -> Telemetry.Http.stop s | None -> ()
+    in
+    (* Failure exit: persist the observability artifacts (final metrics
+       snapshot, flight-recorder dump) *before* dying — the whole point
+       of a flight recorder is surviving the crash. *)
+    let die e =
+      write_metrics ();
+      dump_flight ();
+      stop_server ();
+      or_die (Error e)
+    in
     let with_decisions k =
       match decisions_out with
       | None -> k Mis_obs.Trace.null
@@ -749,6 +822,13 @@ let serve_cmd =
     in
     let stats =
       with_decisions (fun decisions ->
+          (* Tee decide events into the flight recorder so a dump carries
+             the recent decision history next to the batch reports. *)
+          let decisions =
+            Mis_obs.Trace.tee
+              [ decisions;
+                Telemetry.Recorder.sink (Telemetry.recorder telemetry) ]
+          in
           let config =
             { Maintain.default_config with
               strict; check_every; timeout; seed; metrics = Some metrics;
@@ -775,7 +855,7 @@ let serve_cmd =
             try
               Ok
                 (Serve.run ~batch_size ?max_batches ?file ~on_batch
-                   maintainer ic)
+                   ~telemetry maintainer ic)
             with Maintain.Invariant_violation e ->
               Error (Printf.sprintf "invariant violation: %s" e)
           in
@@ -788,18 +868,22 @@ let serve_cmd =
                 (fun () -> serve ic ~file:(Some stream))
             end
           in
-          let stats = match result with Ok s -> s | Error e -> or_die (Error e) in
+          let stats = match result with Ok s -> s | Error e -> die e in
           (* End-of-stream verification: with check_every = 0 this is the
              only invariant check, and it is cheap either way. *)
           (match Maintain.check maintainer with
           | Ok () -> ()
-          | Error e -> or_die (Error ("final MIS invalid: " ^ e)));
+          | Error e -> die ("final MIS invalid: " ^ e));
           let g = Maintain.graph maintainer in
           let mis = Maintain.mis maintainer in
           let members =
             Array.fold_left (fun a b -> if b then a + 1 else a) 0 mis
           in
-          let pct q = Serve.percentile stats.Serve.repair_seconds q *. 1000. in
+          let pct q =
+            match Mis_obs.Sketch.quantile stats.Serve.latency q with
+            | Some s -> s *. 1000.
+            | None -> 0.
+          in
           Printf.printf
             "served %d batches (%d lines, %d events: %d applied, %d \
              skipped, %d malformed)\n"
@@ -815,21 +899,14 @@ let serve_cmd =
             members (Mis_dyn.Dyn_graph.alive_count g);
           stats)
     in
-    (match metrics_out with
-    | Some path ->
-      let oc = open_out path in
-      output_string oc
-        (Mis_obs.Metrics.to_json (Mis_obs.Metrics.snapshot metrics));
-      output_char oc '\n';
-      close_out oc;
-      Printf.printf "metrics written to %s\n" path
-    | None -> ());
+    stop_server ();
+    write_metrics ();
     ignore stats
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ stream_arg $ capacity $ batch_size $ max_batches
           $ strict $ check_every $ timeout $ seed_arg $ metrics_out
-          $ decisions_out $ quiet)
+          $ decisions_out $ telemetry_port $ slo $ flight_out $ quiet)
 
 (* experiment *)
 

@@ -121,6 +121,11 @@ let mobserve t name v =
   | None -> ()
   | Some reg -> Metrics.observe_int (Metrics.histogram reg name) v
 
+let mgauge t name v =
+  match t.cfg.metrics with
+  | None -> ()
+  | Some reg -> Metrics.set (Metrics.gauge reg name) v
+
 (* --- event application -------------------------------------------------- *)
 
 (* Apply one event; accumulate dirty seeds (alive nodes whose validity may
@@ -468,6 +473,21 @@ let apply_batch t events =
           (match checker t with
           | Ok () -> ()
           | Error msg -> raise (Invariant_violation msg))
+      end;
+      if t.cfg.metrics <> None then begin
+        (* Degradation-ladder position of the accepted repair: rung index
+           0 while healthy, the ladder floor after a self-heal. *)
+        let level =
+          if !healed then List.length t.cfg.ladder - 1 else attempts - 1
+        in
+        mgauge t "dyn.ladder.level" (float_of_int level);
+        mgauge t "dyn.live_nodes"
+          (float_of_int (Dyn_graph.alive_count t.g));
+        let members = ref 0 in
+        Array.iteri
+          (fun u m -> if m && Dyn_graph.alive t.g u then incr members)
+          t.mem;
+        mgauge t "dyn.mis_members" (float_of_int !members)
       end;
       { batch;
         events = List.length events;

@@ -1,5 +1,7 @@
 module Json = Mis_obs.Json
 module Metrics = Mis_obs.Metrics
+module Sketch = Mis_obs.Sketch
+module Telemetry = Mis_obs.Telemetry
 
 let spf = Printf.sprintf
 
@@ -14,22 +16,29 @@ type stats = {
   full_recomputes : int;
   max_region : int;
   flips : int;
-  repair_seconds : float array;
+  latency : Sketch.t;
 }
 
-let percentile samples q =
-  let n = Array.length samples in
-  if n = 0 then nan
-  else begin
-    let a = Array.copy samples in
-    Array.sort compare a;
-    let rank = int_of_float (ceil (q *. float_of_int n)) in
-    a.(max 0 (min (n - 1) (rank - 1)))
-  end
+let report_json (r : Maintain.report) =
+  Json.obj
+    [ ("type", Json.str "batch_report");
+      ("batch", Json.int r.Maintain.batch);
+      ("events", Json.int r.Maintain.events);
+      ("applied", Json.int r.Maintain.applied);
+      ("skipped", Json.int r.Maintain.skipped);
+      ("dirty", Json.int r.Maintain.dirty);
+      ("region_nodes", Json.int (Array.length r.Maintain.region_nodes));
+      ("rounds", Json.int r.Maintain.rounds);
+      ("attempts", Json.int r.Maintain.attempts);
+      ("escalated", Json.bool r.Maintain.escalated);
+      ("full_recompute", Json.bool r.Maintain.full_recompute);
+      ("repair_seconds", Json.float r.Maintain.repair_seconds);
+      ("flips", Json.int r.Maintain.flips);
+      ("live", Json.int r.Maintain.live) ]
 
 let run ?(batch_size = 64) ?max_batches ?file
     ?(log = fun msg -> Printf.eprintf "%s\n%!" msg)
-    ?(on_batch = fun (_ : Maintain.report) -> ()) maintainer ic =
+    ?(on_batch = fun (_ : Maintain.report) -> ()) ?telemetry maintainer ic =
   if batch_size < 1 then invalid_arg "Serve.run: batch_size must be >= 1";
   (match max_batches with
   | Some b when b < 1 -> invalid_arg "Serve.run: max_batches must be >= 1"
@@ -40,6 +49,25 @@ let run ?(batch_size = 64) ?max_batches ?file
     | None -> spf "line %d" lineno
   in
   let metrics = (Maintain.config maintainer).Maintain.metrics in
+  (* One latency sketch for the whole run. When the maintainer carries a
+     registry the sketch lives there under "dyn.repair.latency_seconds",
+     so scrapes and the final snapshot see the same stream the stats
+     report; otherwise it is private to the returned stats. *)
+  let latency =
+    match metrics with
+    | Some reg -> Metrics.sketch reg "dyn.repair.latency_seconds"
+    | None -> Sketch.create ()
+  in
+  let slo_breaches =
+    match (telemetry, metrics) with
+    | Some _, Some reg -> Some (Metrics.counter reg "dyn.slo.breaches")
+    | _ -> None
+  in
+  let locked f =
+    match telemetry with
+    | Some t -> Telemetry.with_lock t f
+    | None -> f ()
+  in
   let malformed lineno msg =
     (match metrics with
     | Some reg -> Metrics.incr (Metrics.counter reg "dyn.events.malformed")
@@ -50,27 +78,39 @@ let run ?(batch_size = 64) ?max_batches ?file
   let batches = ref 0 and applied = ref 0 and skipped = ref 0 in
   let escalations = ref 0 and fulls = ref 0 and max_region = ref 0 in
   let flips = ref 0 in
-  let seconds = ref [] in
   let pending = ref [] and pending_n = ref 0 in
   (* A batch marker flushes even an empty batch (a quiet period still
      counts as a served batch); the size trigger and EOF only flush
      pending events. *)
   let flush () =
-    begin
-      let report = Maintain.apply_batch maintainer (List.rev !pending) in
-      pending := [];
-      pending_n := 0;
-      incr batches;
-      applied := !applied + report.Maintain.applied;
-      skipped := !skipped + report.Maintain.skipped;
-      if report.Maintain.escalated then incr escalations;
-      if report.Maintain.full_recompute then incr fulls;
-      max_region :=
-        max !max_region (Array.length report.Maintain.region_nodes);
-      flips := !flips + report.Maintain.flips;
-      seconds := report.Maintain.repair_seconds :: !seconds;
-      on_batch report
-    end
+    (* The whole commit — repair, metric updates, latency observation —
+       runs under the telemetry lock so a concurrent scrape never sees a
+       half-updated registry. *)
+    let report =
+      locked (fun () ->
+          let report = Maintain.apply_batch maintainer (List.rev !pending) in
+          Sketch.add latency report.Maintain.repair_seconds;
+          (match (telemetry, slo_breaches) with
+          | Some t, Some c
+            when report.Maintain.repair_seconds > Telemetry.slo t ->
+            Metrics.incr c
+          | _ -> ());
+          report)
+    in
+    pending := [];
+    pending_n := 0;
+    incr batches;
+    applied := !applied + report.Maintain.applied;
+    skipped := !skipped + report.Maintain.skipped;
+    if report.Maintain.escalated then incr escalations;
+    if report.Maintain.full_recompute then incr fulls;
+    max_region := max !max_region (Array.length report.Maintain.region_nodes);
+    flips := !flips + report.Maintain.flips;
+    (match telemetry with
+    | Some t -> Telemetry.Recorder.note (Telemetry.recorder t)
+                  (report_json report)
+    | None -> ());
+    on_batch report
   in
   let stop = ref false in
   (try
@@ -117,4 +157,4 @@ let run ?(batch_size = 64) ?max_batches ?file
     full_recomputes = !fulls;
     max_region = !max_region;
     flips = !flips;
-    repair_seconds = Array.of_list (List.rev !seconds) }
+    latency }

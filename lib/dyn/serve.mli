@@ -9,7 +9,13 @@
     end-of-stream flushes any tail. Errors on a line never abort the
     loop — the event is skipped, counted into [dyn.events.malformed]
     (when the maintainer carries a metrics registry) and reported
-    through [log] as ["FILE:LINE: skipping malformed event: ..."]. *)
+    through [log] as ["FILE:LINE: skipping malformed event: ..."].
+
+    Repair latency streams into a bounded {!Mis_obs.Sketch} instead of a
+    grow-only array: percentiles come from {!Mis_obs.Sketch.quantile}
+    (the single online implementation; the exact offline companion is
+    {!Mis_obs.Sketch.nearest_rank}), and memory stays constant however
+    long the loop runs. *)
 
 type stats = {
   batches : int;
@@ -22,12 +28,17 @@ type stats = {
   full_recomputes : int;
   max_region : int;  (** Largest per-batch region the program re-ran on. *)
   flips : int;  (** Total membership changes. *)
-  repair_seconds : float array;  (** Per-batch repair latency, in batch
-                                     order — percentile material. *)
+  latency : Mis_obs.Sketch.t;
+      (** Per-batch repair latency (seconds) — query with
+          {!Mis_obs.Sketch.quantile}. When the maintainer carries a
+          metrics registry this is the registry's
+          ["dyn.repair.latency_seconds"] sketch. *)
 }
 
-val percentile : float array -> float -> float
-(** Nearest-rank percentile ([percentile xs 0.99]); [nan] on empty. *)
+val report_json : Maintain.report -> Mis_obs.Json.t
+(** The flight-recorder line for one batch:
+    [{"type":"batch_report","batch":..,...}] with the report's scalar
+    fields ([region_nodes] collapsed to its length). *)
 
 val run :
   ?batch_size:int ->
@@ -35,6 +46,7 @@ val run :
   ?file:string ->
   ?log:(string -> unit) ->
   ?on_batch:(Maintain.report -> unit) ->
+  ?telemetry:Mis_obs.Telemetry.t ->
   Maintain.t ->
   in_channel ->
   stats
@@ -43,6 +55,13 @@ val run :
     input in malformed-line positions; [log] defaults to stderr;
     [on_batch] observes every {!Maintain.report} (progress printing,
     windowed fairness accumulation).
+
+    [telemetry] makes the loop scrape-safe and observable: every batch
+    commit (repair + registry updates + latency observation) runs under
+    {!Mis_obs.Telemetry.with_lock}, each report is noted into the flight
+    recorder, and batches whose repair latency exceeds the telemetry SLO
+    increment the ["dyn.slo.breaches"] counter (when the maintainer has
+    a registry).
 
     Exceptions from the maintainer ({!Maintain.Invariant_violation} in
     strict mode) propagate — fail-fast is the point of strict serving.

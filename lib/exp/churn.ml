@@ -6,6 +6,11 @@ module Churn_gen = Mis_workload.Churn
 module Metrics = Mis_obs.Metrics
 module Fairness = Mis_obs.Fairness
 
+(* Exact offline nearest-rank percentile; [nan] on an empty sample set
+   (mirrors [factor_max] below). *)
+let pct xs q =
+  Option.value ~default:Float.nan (Mis_obs.Sketch.nearest_rank xs q)
+
 type params = {
   churn : Churn_gen.params;
   window : int;
@@ -122,9 +127,9 @@ let measure_cell ?metrics (params : params) ~seed =
     live_mean = per !live_sum;
     region_mean = per !region_sum;
     region_max = !region_max;
-    p50_ms = Serve.percentile ms 0.50;
-    p95_ms = Serve.percentile ms 0.95;
-    p99_ms = Serve.percentile ms 0.99;
+    p50_ms = pct ms 0.50;
+    p95_ms = pct ms 0.95;
+    p99_ms = pct ms 0.99;
     escalations = !escalations;
     full_recomputes = !fulls;
     flips = !flips;

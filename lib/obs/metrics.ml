@@ -17,6 +17,7 @@ type metric =
   | Gauge of gauge
   | Histogram of histogram
   | Timer of timer
+  | Sk of Sketch.t
 
 type t = { tbl : (string, metric) Hashtbl.t }
 
@@ -27,6 +28,7 @@ let kind_name = function
   | Gauge _ -> "gauge"
   | Histogram _ -> "histogram"
   | Timer _ -> "timer"
+  | Sk _ -> "sketch"
 
 let register t name make match_existing =
   match Hashtbl.find_opt t.tbl name with
@@ -125,6 +127,15 @@ let timer_add tm ~seconds ~calls =
 let timer_seconds tm = tm.seconds
 let timer_calls tm = tm.calls
 
+let sketch t ?accuracy name =
+  match
+    register t name
+      (fun () -> Sk (Sketch.create ?accuracy ()))
+      (function Sk _ -> true | _ -> false)
+  with
+  | Sk s -> s
+  | _ -> assert false
+
 (* --- merge -------------------------------------------------------------- *)
 
 (* Fold [src] into [into] by name. Same-name metrics of different kinds
@@ -139,6 +150,25 @@ let merge ~into src =
       | Timer tm ->
         if tm.seconds > 0. || tm.calls > 0 then
           timer_add (timer into name) ~seconds:tm.seconds ~calls:tm.calls
+      | Sk s ->
+        if Sketch.count s > 0 then begin
+          (* Register a layout-compatible destination by hand: [sketch]
+             would build one with the default configuration, which may
+             not match a custom source. *)
+          let dst =
+            match
+              register into name
+                (fun () -> Sk (Sketch.like s))
+                (function Sk _ -> true | _ -> false)
+            with
+            | Sk d -> d
+            | _ -> assert false
+          in
+          if not (Sketch.same_layout dst s) then
+            invalid_arg
+              (Printf.sprintf "Metrics.merge: %S sketch layouts differ" name);
+          Sketch.merge ~into:dst s
+        end
       | Histogram h ->
         let dst = histogram into ~buckets:h.buckets name in
         if dst.buckets <> h.buckets then
@@ -162,6 +192,7 @@ let copy_metric = function
     Histogram
       { h with buckets = Array.copy h.buckets; counts = Array.copy h.counts }
   | Timer tm -> Timer { seconds = tm.seconds; calls = tm.calls }
+  | Sk s -> Sk (Sketch.copy s)
 
 let snapshot t =
   Hashtbl.fold (fun name m acc -> (name, copy_metric m) :: acc) t.tbl []
@@ -209,10 +240,70 @@ let to_json (s : snapshot) =
              (fun tm ->
                Json.obj
                  [ ("seconds", Json.float tm.seconds);
-                   ("calls", Json.int tm.calls) ])) ) ]
+                   ("calls", Json.int tm.calls) ])) );
+      ( "sketches",
+        Json.obj
+          (section
+             (function Sk s -> Some s | _ -> None)
+             (fun s ->
+               let q p =
+                 match Sketch.quantile s p with
+                 | Some v -> Json.float v
+                 | None -> Json.null
+               in
+               Json.obj
+                 [ ("accuracy", Json.float (Sketch.accuracy s));
+                   ("count", Json.int (Sketch.count s));
+                   ("sum", Json.float (Sketch.sum s));
+                   ( "min",
+                     match Sketch.min_value s with
+                     | Some v -> Json.float v
+                     | None -> Json.null );
+                   ( "max",
+                     match Sketch.max_value s with
+                     | Some v -> Json.float v
+                     | None -> Json.null );
+                   ( "quantiles",
+                     Json.obj
+                       [ ("0.5", q 0.5); ("0.9", q 0.9); ("0.95", q 0.95);
+                         ("0.99", q 0.99) ] ) ])) ) ]
 
 let find_counter (s : snapshot) name =
   match List.assoc_opt name s with Some (Counter c) -> Some c.c | _ -> None
 
 let find_gauge (s : snapshot) name =
   match List.assoc_opt name s with Some (Gauge g) -> Some g.g | _ -> None
+
+let find_sketch (s : snapshot) name =
+  match List.assoc_opt name s with Some (Sk sk) -> Some sk | _ -> None
+
+(* --- typed snapshot view (the exposition formatter's input) ------------- *)
+
+type view =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of {
+      v_buckets : float array;
+      v_counts : int array;
+      v_sum : float;
+      v_count : int;
+    }
+  | Timer_v of { v_seconds : float; v_calls : int }
+  | Sketch_v of Sketch.t
+
+let items (s : snapshot) =
+  List.map
+    (fun (name, m) ->
+      let v =
+        match m with
+        | Counter c -> Counter_v c.c
+        | Gauge g -> Gauge_v g.g
+        | Histogram h ->
+          Histogram_v
+            { v_buckets = h.buckets; v_counts = h.counts; v_sum = h.sum;
+              v_count = h.count }
+        | Timer tm -> Timer_v { v_seconds = tm.seconds; v_calls = tm.calls }
+        | Sk sk -> Sketch_v sk
+      in
+      (name, v))
+    s

@@ -1,5 +1,6 @@
-(** Named-metric registry: counters, gauges, fixed-bucket histograms and
-    wall-clock timers, with a deterministic snapshot / JSON export.
+(** Named-metric registry: counters, gauges, fixed-bucket histograms,
+    wall-clock timers and quantile sketches, with a deterministic
+    snapshot / JSON export.
 
     A registry is a flat namespace of metrics. Registration is idempotent:
     asking twice for the same name and kind returns the same instrument;
@@ -70,17 +71,26 @@ val timer_add : timer -> seconds:float -> calls:int -> unit
 val timer_seconds : timer -> float
 val timer_calls : timer -> int
 
+(** {1 Sketches} *)
+
+val sketch : t -> ?accuracy:float -> string -> Sketch.t
+(** A registered {!Sketch} (streaming quantiles with a relative-error
+    bound; see {!Sketch.create} for [accuracy], ignored when the sketch
+    already exists). Update with {!Sketch.add}; exported as an
+    OpenMetrics summary and a ["sketches"] JSON section. *)
+
 (** {1 Merge} *)
 
 val merge : into:t -> t -> unit
 (** [merge ~into src] folds every instrument of [src] into [into] by
     name: counters and timers accumulate, histogram bucket counts / sum /
-    count / min / max accumulate, gauges take the source value. Zero
-    counters and empty timers are skipped (they do not register in
+    count / min / max accumulate, sketches merge by bucket addition
+    ({!Sketch.merge}), gauges take the source value. Zero counters, empty
+    timers and empty sketches are skipped (they do not register in
     [into]). Used to combine per-domain registries at the parallel
     engine's join barrier.
     @raise Invalid_argument when a name exists in both with different
-    kinds, or when two histograms disagree on bucket layout. *)
+    kinds, or when two histograms (or sketches) disagree on layout. *)
 
 (** {1 Snapshots} *)
 
@@ -91,11 +101,32 @@ val snapshot : t -> snapshot
 
 val to_json : snapshot -> Json.t
 (** Deterministic object
-    [{"counters":{..},"gauges":{..},"histograms":{..},"timers":{..}}] with
-    names sorted; histograms carry [buckets], [counts] (one longer than
-    [buckets]: the last entry is the overflow bucket), [count], [sum],
-    [min] and [max]. *)
+    [{"counters":{..},"gauges":{..},"histograms":{..},"timers":{..},
+    "sketches":{..}}] with names sorted; histograms carry [buckets],
+    [counts] (one longer than [buckets]: the last entry is the overflow
+    bucket), [count], [sum], [min] and [max]; sketches carry [accuracy],
+    [count], [sum], [min], [max] and a fixed [quantiles] object
+    (p50/p90/p95/p99). *)
 
 val find_counter : snapshot -> string -> int option
 val find_gauge : snapshot -> string -> float option
+val find_sketch : snapshot -> string -> Sketch.t option
 (** Test helpers: look a value up in a snapshot. *)
+
+(** {1 Typed snapshot view} *)
+
+type view =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of {
+      v_buckets : float array;
+      v_counts : int array;  (** One longer than [v_buckets] (overflow). *)
+      v_sum : float;
+      v_count : int;
+    }
+  | Timer_v of { v_seconds : float; v_calls : int }
+  | Sketch_v of Sketch.t
+
+val items : snapshot -> (string * view) list
+(** The snapshot's instruments with their values, sorted by name — the
+    input of {!Openmetrics.render}. *)

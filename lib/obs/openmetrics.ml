@@ -1,0 +1,64 @@
+let metric_name name =
+  let b = Buffer.create (String.length name + 1) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> Buffer.add_char b c
+      | '0' .. '9' ->
+        if i = 0 then Buffer.add_char b '_';
+        Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+(* Exposition floats: the Json shortest-round-trip form for finite
+   values; OpenMetrics spells the non-finite ones out. *)
+let num f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else Json.float f
+
+let render snapshot =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s;
+                                   Buffer.add_char b '\n') fmt in
+  List.iter
+    (fun (raw_name, view) ->
+      let name = metric_name raw_name in
+      match view with
+      | Metrics.Counter_v v ->
+        line "# TYPE %s counter" name;
+        line "%s_total %d" name v
+      | Metrics.Gauge_v v ->
+        line "# TYPE %s gauge" name;
+        line "%s %s" name (num v)
+      | Metrics.Histogram_v { v_buckets; v_counts; v_sum; v_count } ->
+        line "# TYPE %s histogram" name;
+        let cum = ref 0 in
+        Array.iteri
+          (fun i bound ->
+            cum := !cum + v_counts.(i);
+            line "%s_bucket{le=\"%s\"} %d" name (num bound) !cum)
+          v_buckets;
+        line "%s_bucket{le=\"+Inf\"} %d" name v_count;
+        line "%s_sum %s" name (num v_sum);
+        line "%s_count %d" name v_count
+      | Metrics.Timer_v { v_seconds; v_calls } ->
+        line "# TYPE %s_seconds counter" name;
+        line "%s_seconds_total %s" name (num v_seconds);
+        line "# TYPE %s_calls counter" name;
+        line "%s_calls_total %d" name v_calls
+      | Metrics.Sketch_v s ->
+        line "# TYPE %s summary" name;
+        List.iter
+          (fun q ->
+            match Sketch.quantile s q with
+            | Some v -> line "%s{quantile=\"%s\"} %s" name (num q) (num v)
+            | None -> ())
+          [ 0.5; 0.9; 0.95; 0.99 ];
+        line "%s_sum %s" name (num (Sketch.sum s));
+        line "%s_count %d" name (Sketch.count s))
+    (Metrics.items snapshot);
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b

@@ -1,0 +1,152 @@
+(* Log-bucketed quantile sketch (DDSketch-style, fixed range).
+
+   Bucket i > 0 covers (gamma^(i-1), gamma^i]; a positive value v maps to
+   i = ceil (log_gamma v). The representative 2*gamma^i/(gamma+1) is at
+   relative distance exactly (gamma-1)/(gamma+1) = accuracy from both
+   bucket edges, which is where the per-value error bound comes from.
+   Indices are offset into a fixed array covering [min_value, max_value];
+   the array is allocated once at create and never grows. *)
+
+type t = {
+  acc : float;  (* relative-error bound, the user-facing parameter *)
+  inv_log_gamma : float;  (* 1 / log gamma, cached for add *)
+  log_gamma : float;
+  lo : int;  (* log-index of the first array slot *)
+  counts : int array;  (* slot c = log-index lo + c; last slot clamps *)
+  mutable zero : int;  (* observations in [0, min_value) *)
+  mutable total : int;
+  mutable s : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let log_index ~log_gamma v =
+  (* ceil (log v / log gamma) without drifting on exact powers. *)
+  int_of_float (Float.ceil (Float.log v /. log_gamma -. 1e-9))
+
+let create ?(accuracy = 0.01) ?(min_value = 1e-9) ?(max_value = 1e9) () =
+  if not (accuracy > 0. && accuracy < 1.) then
+    invalid_arg "Sketch.create: accuracy must be in (0, 1)";
+  if not (min_value > 0. && max_value > min_value) then
+    invalid_arg "Sketch.create: need 0 < min_value < max_value";
+  let gamma = (1. +. accuracy) /. (1. -. accuracy) in
+  let log_gamma = Float.log gamma in
+  let lo = log_index ~log_gamma min_value in
+  let hi = log_index ~log_gamma max_value in
+  { acc = accuracy;
+    inv_log_gamma = 1. /. log_gamma;
+    log_gamma;
+    lo;
+    counts = Array.make (hi - lo + 1) 0;
+    zero = 0;
+    total = 0;
+    s = 0.;
+    min_v = Float.infinity;
+    max_v = Float.neg_infinity }
+
+let like t =
+  { t with
+    counts = Array.make (Array.length t.counts) 0;
+    zero = 0; total = 0; s = 0.;
+    min_v = Float.infinity; max_v = Float.neg_infinity }
+
+let copy t = { t with counts = Array.copy t.counts }
+
+let same_layout a b =
+  a.acc = b.acc && a.lo = b.lo && Array.length a.counts = Array.length b.counts
+
+let add t v =
+  if not (Float.is_finite v) || v < 0. then
+    invalid_arg "Sketch.add: value must be finite and >= 0";
+  let n = Array.length t.counts in
+  if v = 0. then t.zero <- t.zero + 1
+  else begin
+    let i =
+      int_of_float (Float.ceil ((Float.log v *. t.inv_log_gamma) -. 1e-9))
+      - t.lo
+    in
+    if i < 0 then t.zero <- t.zero + 1
+    else begin
+      let i = if i >= n then n - 1 else i in
+      t.counts.(i) <- t.counts.(i) + 1
+    end
+  end;
+  t.total <- t.total + 1;
+  t.s <- t.s +. v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.total
+let sum t = t.s
+let min_value t = if t.total = 0 then None else Some t.min_v
+let max_value t = if t.total = 0 then None else Some t.max_v
+let accuracy t = t.acc
+
+let value_of_index t i =
+  (* Midpoint (in relative distance) of bucket i's range. *)
+  2. *. Float.exp (float_of_int i *. t.log_gamma)
+  /. (Float.exp t.log_gamma +. 1.)
+
+let value_of_bucket t i = if i = min_int then 0. else value_of_index t i
+
+let quantile t q =
+  if not (q >= 0. && q <= 1.) then
+    invalid_arg "Sketch.quantile: q must be in [0, 1]";
+  if t.total = 0 then None
+  else if q = 0. then Some t.min_v  (* exact endpoints *)
+  else if q = 1. then Some t.max_v
+  else begin
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int t.total))) in
+    let est =
+      if rank <= t.zero then 0.
+      else begin
+        let seen = ref t.zero in
+        let slot = ref (-1) in
+        let n = Array.length t.counts in
+        let c = ref 0 in
+        while !slot < 0 && !c < n do
+          seen := !seen + t.counts.(!c);
+          if !seen >= rank then slot := !c;
+          incr c
+        done;
+        if !slot < 0 then t.max_v  (* unreachable unless counts raced *)
+        else value_of_index t (t.lo + !slot)
+      end
+    in
+    (* Clamp to the observed extremes: tightens the tails and makes
+       q = 0 / q = 1 exact. *)
+    Some (Float.min t.max_v (Float.max t.min_v est))
+  end
+
+let merge ~into src =
+  if not (same_layout into src) then
+    invalid_arg "Sketch.merge: sketches have different configurations";
+  Array.iteri
+    (fun i c -> if c <> 0 then into.counts.(i) <- into.counts.(i) + c)
+    src.counts;
+  into.zero <- into.zero + src.zero;
+  into.total <- into.total + src.total;
+  into.s <- into.s +. src.s;
+  if src.min_v < into.min_v then into.min_v <- src.min_v;
+  if src.max_v > into.max_v then into.max_v <- src.max_v
+
+let buckets t =
+  let acc = ref [] in
+  for i = Array.length t.counts - 1 downto 0 do
+    if t.counts.(i) <> 0 then acc := (t.lo + i, t.counts.(i)) :: !acc
+  done;
+  if t.zero <> 0 then (min_int, t.zero) :: !acc else !acc
+
+(* --- the exact offline percentile --------------------------------------- *)
+
+let nearest_rank xs q =
+  if not (q >= 0. && q <= 1.) then
+    invalid_arg "Sketch.nearest_rank: q must be in [0, 1]";
+  let n = Array.length xs in
+  if n = 0 then None
+  else begin
+    let a = Array.copy xs in
+    Array.sort compare a;
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    Some a.(max 0 (min (n - 1) (rank - 1)))
+  end

@@ -455,13 +455,16 @@ let test_serve_batch_size_and_eof () =
   Alcotest.(check int) "max_batches stops the loop" 1 stats2.Serve.batches
 
 let test_percentile () =
+  let module Sketch = Mis_obs.Sketch in
+  let pct xs q = Sketch.nearest_rank xs q in
   let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
-  Alcotest.(check (float 1e-9)) "p50" 50. (Serve.percentile xs 0.50);
-  Alcotest.(check (float 1e-9)) "p95" 95. (Serve.percentile xs 0.95);
-  Alcotest.(check (float 1e-9)) "p100" 100. (Serve.percentile xs 1.0);
-  Alcotest.(check (float 1e-9)) "single sample" 7. (Serve.percentile [| 7. |] 0.5);
-  Alcotest.(check bool) "empty is nan" true
-    (Float.is_nan (Serve.percentile [||] 0.5))
+  Alcotest.(check (option (float 1e-9))) "p50" (Some 50.) (pct xs 0.50);
+  Alcotest.(check (option (float 1e-9))) "p95" (Some 95.) (pct xs 0.95);
+  Alcotest.(check (option (float 1e-9))) "p100" (Some 100.) (pct xs 1.0);
+  Alcotest.(check (option (float 1e-9)))
+    "single sample" (Some 7.)
+    (pct [| 7. |] 0.5);
+  Alcotest.(check (option (float 1e-9))) "empty is None" None (pct [||] 0.5)
 
 (* --- churn generator --------------------------------------------------- *)
 

@@ -6,5 +6,6 @@ let () =
     @ Test_mis_core.suite @ Test_fair_algorithms.suite @ Test_blocks.suite
     @ Test_stats.suite @ Test_parallel.suite @ Test_io.suite @ Test_exp.suite
     @ Test_edge_cases.suite
-    @ Test_fairness.suite @ Test_obs.suite @ Test_replay.suite
+    @ Test_fairness.suite @ Test_obs.suite @ Test_telemetry.suite
+    @ Test_replay.suite
     @ Test_engine.suite @ Test_dyn.suite)

@@ -78,7 +78,7 @@ let test_metrics_histogram () =
   Alcotest.(check string) "snapshot json"
     ({|{"counters":{},"gauges":{},"histograms":{"h":{"buckets":[1.0,2.0,4.0],|}
     ^ {|"counts":[2,1,1,1],"count":5,"sum":106.5,"min":0.5,"max":100.0}},|}
-    ^ {|"timers":{}}|})
+    ^ {|"timers":{},"sketches":{}}|})
     json;
   Alcotest.check_raises "bad buckets"
     (Invalid_argument "Metrics.histogram: buckets must be strictly increasing")
