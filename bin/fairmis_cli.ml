@@ -286,6 +286,14 @@ let print_summary ~width (s : Replay.summary) =
     s.Replay.received s.Replay.in_flight s.Replay.decided
     (count_true s.Replay.in_mis)
     s.Replay.crashed s.Replay.annotations;
+  if s.Replay.wasted_to_decided + s.Replay.wasted_to_crashed
+     + s.Replay.in_flight_end > 0
+  then
+    Printf.printf
+      "waste: %d messages to already-decided nodes, %d to crashed nodes, \
+       %d still in flight at run end\n"
+      s.Replay.wasted_to_decided s.Replay.wasted_to_crashed
+      s.Replay.in_flight_end;
   Printf.printf "messages/round  %s\n"
     (Mis_exp.Ascii_plot.sparkline ~width
        (Array.map
@@ -435,6 +443,149 @@ let analyze_cmd =
     if !failures > 0 then exit 1
   in
   Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ files $ width)
+
+(* critpath *)
+
+module Causal = Mis_obs.Causal
+
+let write_timeline ~what path (json : Mis_obs.Json.t) =
+  (match Mis_obs.Json.parse json with
+  | Error e ->
+    or_die (Error (Printf.sprintf "%s timeline is not valid JSON: %s" what e))
+  | Ok v -> (
+    match Causal.validate_timeline v with
+    | Ok () -> ()
+    | Error e ->
+      or_die
+        (Error (Printf.sprintf "%s timeline failed validation: %s" what e))));
+  let oc = open_out path in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "%s timeline written to %s (open in ui.perfetto.dev)\n" what
+    path
+
+let critpath_cmd =
+  let doc =
+    "Reconstruct the happens-before critical path of a traced run — the \
+     causal chain of message deliveries and local steps that forced the \
+     termination round — with per-phase blame, per-node slack, waste \
+     counters and optional Perfetto timeline exports."
+  in
+  let trace_arg =
+    Arg.(value & pos 0 (some string) None
+        & info [] ~docv:"TRACE.jsonl"
+            ~doc:"Analyze an existing JSONL trace (as written by \
+                  $(b,trace)); omit to run $(b,--alg) on $(b,--topo) \
+                  fresh.")
+  in
+  let alg =
+    Arg.(value & opt string "fairtree"
+        & info [ "alg" ]
+            ~doc:"Traceable algorithm for a fresh run (see 'list').")
+  in
+  let topo =
+    Arg.(value & opt string "prufer:n=64"
+        & info [ "topo" ] ~doc:"Topology spec for a fresh run.")
+  in
+  let node =
+    Arg.(value & opt (some int) None
+        & info [ "node" ]
+            ~doc:"Also print the critical path to this node's own decide \
+                  (the global path ends at the last decider).")
+  in
+  let top =
+    Arg.(value & opt int 5
+        & info [ "top" ] ~doc:"Blame rows to print.")
+  in
+  let protocol_out =
+    Arg.(value & opt (some string) None
+        & info [ "protocol-out" ]
+            ~doc:"Write the protocol timeline (rounds x nodes with the \
+                  critical path as a flow chain) as Chrome trace-event \
+                  JSON here.")
+  in
+  let execution_out =
+    Arg.(value & opt (some string) None
+        & info [ "execution-out" ]
+            ~doc:"Write the execution timeline (per-domain profiler \
+                  spans; requires FAIRMIS_PROF_SPANS=1 and a fresh run) \
+                  here.")
+  in
+  let run trace alg topo seed node top protocol_out execution_out =
+    let events =
+      match trace with
+      | Some path -> or_die (Replay.of_file path)
+      | None ->
+        let tr =
+          match Mis_exp.Runners.find_traced alg with
+          | Some t -> t
+          | None ->
+            or_die
+              (Error
+                 (Printf.sprintf
+                    "algorithm %S is not traceable (traceable: %s)" alg
+                    (String.concat ", "
+                       (List.map
+                          (fun t -> t.Mis_exp.Runners.t_name)
+                          Mis_exp.Runners.traced))))
+        in
+        let g = or_die (graph_of_spec topo) in
+        let sink, events = Mis_obs.Trace.memory ~capacity:(1 lsl 21) () in
+        let o = tr.Mis_exp.Runners.t_run (View.full g) ~seed ~tracer:sink in
+        Fairmis.Mis.verify ~name:alg (View.full g)
+          o.Mis_sim.Runtime.output;
+        Printf.printf "%s on %s (seed %d): rounds=%d messages=%d\n"
+          tr.Mis_exp.Runners.t_display topo seed o.Mis_sim.Runtime.rounds
+          o.Mis_sim.Runtime.messages;
+        events ()
+    in
+    match Causal.analyze events with
+    | Error errors ->
+      List.iter (fun e -> Printf.eprintf "replay error: %s\n" e) errors;
+      exit 1
+    | Ok t ->
+      print_string (Causal.render ~top t events);
+      (match node with
+      | None -> ()
+      | Some u ->
+        let path = Causal.decide_path t events u in
+        if Array.length path = 0 then
+          Printf.printf "node %d never decided — no causal path\n" u
+        else begin
+          Printf.printf "critical path to node %d (decided round %d):\n" u
+            (path.(Array.length path - 1).Causal.round);
+          Array.iter
+            (fun (s : Causal.step) ->
+              Printf.printf "  round %3d  node %3d  %s\n" s.Causal.round
+                s.Causal.node
+                (match s.Causal.via with
+                | Causal.Start -> "start"
+                | Causal.Local -> "local step"
+                | Causal.Delivery { src } ->
+                  Printf.sprintf "delivery from node %d" src))
+            path
+        end);
+      (match protocol_out with
+      | Some path ->
+        write_timeline ~what:"protocol" path (Causal.protocol_timeline t events)
+      | None -> ());
+      (match execution_out with
+      | Some path -> (
+        match Mis_obs.Prof.global_spans () with
+        | [] ->
+          Printf.eprintf
+            "no profiler spans recorded — run with FAIRMIS_PROF_SPANS=1 \
+             (and without TRACE.jsonl, spans come from the fresh run)\n";
+          exit 1
+        | spans ->
+          write_timeline ~what:"execution" path
+            (Causal.execution_timeline spans))
+      | None -> ())
+  in
+  Cmd.v (Cmd.info "critpath" ~doc)
+    Term.(const run $ trace_arg $ alg $ topo $ seed_arg $ node $ top
+          $ protocol_out $ execution_out)
 
 (* fairness *)
 
@@ -758,8 +909,16 @@ let serve_cmd =
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No per-batch progress.")
   in
+  let critpath =
+    Arg.(value & flag
+        & info [ "critpath" ]
+            ~doc:"Trace each repair and reconstruct its causal critical \
+                  path (dyn.repair.critpath_len and related metrics; \
+                  prints the per-batch maximum).")
+  in
   let run stream capacity batch_size max_batches strict check_every timeout
-      seed metrics_out decisions_out telemetry_port slo flight_out quiet =
+      seed metrics_out decisions_out telemetry_port slo flight_out quiet
+      critpath =
     let module Maintain = Mis_dyn.Maintain in
     let module Serve = Mis_dyn.Serve in
     let module Telemetry = Mis_obs.Telemetry in
@@ -832,7 +991,7 @@ let serve_cmd =
           let config =
             { Maintain.default_config with
               strict; check_every; timeout; seed; metrics = Some metrics;
-              decisions }
+              decisions; critpath }
           in
           let maintainer =
             try Maintain.create ~config ~capacity ()
@@ -895,6 +1054,10 @@ let serve_cmd =
             (pct 0.50) (pct 0.95) (pct 0.99) stats.Serve.escalations
             stats.Serve.full_recomputes stats.Serve.max_region
             stats.Serve.flips;
+          if critpath && stats.Serve.max_critpath >= 0 then
+            Printf.printf
+              "repair critical path: longest causal chain %d rounds\n"
+              stats.Serve.max_critpath;
           Printf.printf "final MIS valid: %d members over %d alive nodes\n"
             members (Mis_dyn.Dyn_graph.alive_count g);
           stats)
@@ -906,7 +1069,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ stream_arg $ capacity $ batch_size $ max_batches
           $ strict $ check_every $ timeout $ seed_arg $ metrics_out
-          $ decisions_out $ telemetry_port $ slo $ flight_out $ quiet)
+          $ decisions_out $ telemetry_port $ slo $ flight_out $ quiet
+          $ critpath)
 
 (* experiment *)
 
@@ -946,8 +1110,8 @@ let () =
     Cmd.eval
       (Cmd.group info
          [ list_cmd; topo_cmd; run_cmd; measure_cmd; trace_cmd; analyze_cmd;
-           fairness_cmd; bench_diff_cmd; faults_cmd; churn_gen_cmd;
-           serve_cmd; experiment_cmd ])
+           critpath_cmd; fairness_cmd; bench_diff_cmd; faults_cmd;
+           churn_gen_cmd; serve_cmd; experiment_cmd ])
   in
   (* FAIRMIS_PROF=1: span tree (wall time + GC work) on stderr. *)
   Mis_obs.Prof.print_report stderr;

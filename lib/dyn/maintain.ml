@@ -13,16 +13,17 @@ let spf = Printf.sprintf
 type algorithm = {
   alg_name : string;
   alg_run :
+    ?tracer:Mis_obs.Trace.sink ->
     Mis_graph.View.t -> ids:int array -> seed:int -> Mis_sim.Runtime.outcome;
 }
 
 let luby =
   { alg_name = "luby";
     alg_run =
-      (fun view ~ids ~seed ->
+      (fun ?tracer view ~ids ~seed ->
         let plan = Rand_plan.make seed in
         let stage = Rand_plan.Stage.luby_main in
-        Runtime.run ~ids
+        Runtime.run ~ids ?tracer
           ~rng_of:(fun i -> Rand_plan.node_stream plan ~stage ~node:ids.(i))
           view
           (Fairmis.Luby.program plan ~stage)) }
@@ -41,6 +42,7 @@ type config = {
   seed : int;
   metrics : Mis_obs.Metrics.t option;
   decisions : Mis_obs.Trace.sink;
+  critpath : bool;
 }
 
 let default_config =
@@ -54,7 +56,8 @@ let default_config =
     clock = Unix.gettimeofday;
     seed = 1;
     metrics = None;
-    decisions = Mis_obs.Trace.null }
+    decisions = Mis_obs.Trace.null;
+    critpath = false }
 
 type t = {
   cfg : config;
@@ -107,6 +110,7 @@ type report = {
   repair_seconds : float;
   flips : int;
   live : int;
+  critpath_len : int;
 }
 
 (* --- metrics helpers ---------------------------------------------------- *)
@@ -219,6 +223,9 @@ type attempt_result = {
   a_region : int array;  (* sorted global numbers handed to the program *)
   a_rounds : int;
   a_changes : (int * bool) list;  (* proposed membership of dirty nodes *)
+  a_events : Trace.event list;
+      (* the attempt's trace, for critical-path stats; [] unless
+         [config.critpath] and a program actually ran *)
 }
 
 (* Dirty closure at [radius]: BFS-widen the seeds by [radius - 1] hops,
@@ -268,18 +275,31 @@ let attempt_seed t ~batch ~attempt =
     (Splitmix.derive (Int64.of_int t.cfg.seed) [ 0xD71A; batch; attempt ])
   land max_int
 
+(* Ring capacity for critpath attempt traces. An overflowed ring loses
+   its Run_begin, Causal.analyze rejects it, and the batch is counted in
+   dyn.repair.critpath_failures instead of producing a bogus path. *)
+let critpath_capacity = 1 lsl 18
+
 (* One repair attempt. Returns the proposed membership changes without
    committing them, so a timed-out or incomplete attempt leaves the
    maintained state untouched for the next rung. *)
 let run_attempt t ~batch ~attempt ~seeds rung =
   let g = t.g in
   let cap = Dyn_graph.capacity g in
+  let tracer, a_events =
+    if not t.cfg.critpath then (None, fun () -> [])
+    else begin
+      let sink, events = Trace.memory ~capacity:critpath_capacity () in
+      (Some sink, events)
+    end
+  in
   match rung with
   | Full_recompute ->
     let view = Dyn_graph.live_view g in
     let ids = Array.init cap Fun.id in
     let o =
-      t.cfg.algorithm.alg_run view ~ids ~seed:(attempt_seed t ~batch ~attempt)
+      t.cfg.algorithm.alg_run ?tracer view ~ids
+        ~seed:(attempt_seed t ~batch ~attempt)
     in
     let alive = Dyn_graph.alive_nodes g in
     if not (Array.for_all (fun u -> o.Runtime.decided.(u)) alive) then None
@@ -290,7 +310,8 @@ let run_attempt t ~batch ~attempt ~seeds rung =
           a_rounds = o.Runtime.rounds;
           a_changes =
             Array.to_list
-              (Array.map (fun u -> (u, o.Runtime.output.(u))) alive) }
+              (Array.map (fun u -> (u, o.Runtime.output.(u))) alive);
+          a_events = a_events () }
   | Radius radius ->
     let dirty = dirty_set t ~seeds ~radius in
     (* Frozen-member exclusion: a dirty node adjacent to a member outside
@@ -315,7 +336,8 @@ let run_attempt t ~batch ~attempt ~seeds rung =
         { a_dirty = !dirty_n;
           a_region = [||];
           a_rounds = 0;
-          a_changes = List.map (fun u -> (u, false)) !covered }
+          a_changes = List.map (fun u -> (u, false)) !covered;
+          a_events = [] }
     else begin
       let k = Array.length region in
       let slot = Hashtbl.create (2 * k) in
@@ -331,7 +353,7 @@ let run_attempt t ~batch ~attempt ~seeds rung =
         region;
       let sub = Graph.of_edge_array ~n:k (Array.of_list !edges) in
       let o =
-        t.cfg.algorithm.alg_run (View.full sub) ~ids:region
+        t.cfg.algorithm.alg_run ?tracer (View.full sub) ~ids:region
           ~seed:(attempt_seed t ~batch ~attempt)
       in
       if not (Array.for_all Fun.id o.Runtime.decided) then None
@@ -343,7 +365,8 @@ let run_attempt t ~batch ~attempt ~seeds rung =
             a_changes =
               List.map (fun u -> (u, false)) !covered
               @ Array.to_list
-                  (Array.mapi (fun i u -> (u, o.Runtime.output.(i))) region) }
+                  (Array.mapi (fun i u -> (u, o.Runtime.output.(i))) region);
+            a_events = a_events () }
     end
 
 let emit_decisions t ~batch changes =
@@ -443,6 +466,28 @@ let apply_batch t events =
       mcount t "dyn.flips" !flips;
       mobserve t "dyn.repair.dirty_nodes" result.a_dirty;
       mobserve t "dyn.repair.region_nodes" (Array.length result.a_region);
+      (* Critical-path stats of the accepted attempt (config.critpath).
+         On the fault-free region runs the path length equals the repair
+         round count; the value of the analysis is the delivery/local
+         split and the waste counters. *)
+      let critpath_len =
+        if result.a_events = [] then -1
+        else
+          match Mis_obs.Causal.analyze result.a_events with
+          | Ok c ->
+            let len = Mis_obs.Causal.length c in
+            mobserve t "dyn.repair.critpath_len" len;
+            mobserve t "dyn.repair.critpath_delivery_steps"
+              c.Mis_obs.Causal.delivery_steps;
+            mcount t "dyn.repair.wasted_sends"
+              (c.Mis_obs.Causal.waste.Mis_obs.Causal.w_to_decided
+              + c.Mis_obs.Causal.waste.Mis_obs.Causal.w_to_crashed);
+            len
+          | Error _ ->
+            (* e.g. the attempt overflowed the trace ring *)
+            mcount t "dyn.repair.critpath_failures" 1;
+            -1
+      in
       (match t.cfg.metrics with
       | None -> ()
       | Some reg ->
@@ -501,4 +546,5 @@ let apply_batch t events =
         full_recompute = full || !healed;
         repair_seconds = elapsed;
         flips = !flips;
-        live = Dyn_graph.alive_count t.g })
+        live = Dyn_graph.alive_count t.g;
+        critpath_len })

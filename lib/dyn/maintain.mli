@@ -31,10 +31,14 @@
 type algorithm = {
   alg_name : string;
   alg_run :
+    ?tracer:Mis_obs.Trace.sink ->
     Mis_graph.View.t -> ids:int array -> seed:int -> Mis_sim.Runtime.outcome;
       (** Run one MIS computation on a (sub)view. [ids.(i)] is the global
           node number of view node [i]; implementations must key their
-          randomness by id so repairs are reproducible. *)
+          randomness by id so repairs are reproducible. [tracer] (passed
+          when [config.critpath] is on) must receive the run's trace
+          stream; implementations that cannot trace may ignore it, at
+          the cost of no critical-path stats. *)
 }
 
 val luby : algorithm
@@ -65,12 +69,19 @@ type config = {
   decisions : Mis_obs.Trace.sink;
       (** Receives one [Decide {round = batch; node; in_mis}] per
           re-decided node of each accepted batch. *)
+  critpath : bool;
+      (** Trace every repair attempt into a memory sink and run
+          {!Mis_obs.Causal.analyze} on the accepted one: histograms
+          [dyn.repair.critpath_len] / [dyn.repair.critpath_delivery_steps],
+          counter [dyn.repair.wasted_sends], and
+          {!report.critpath_len}. Costs one in-memory trace per attempt;
+          off by default. *)
 }
 
 val default_config : config
 (** Luby, ladder [[Radius 1; Radius 2; Full_recompute]], non-strict,
     [check_every = 0], no timeout, zero backoff, wall clock, seed 1, no
-    metrics, null decisions sink. *)
+    metrics, null decisions sink, critpath off. *)
 
 type t
 
@@ -107,6 +118,11 @@ type report = {
   repair_seconds : float;  (** Wall clock across all attempts. *)
   flips : int;  (** Membership changes vs before the batch. *)
   live : int;  (** Alive nodes after the batch. *)
+  critpath_len : int;
+      (** Critical-path length of the accepted attempt; [-1] when
+          [config.critpath] is off, the region was empty, or the
+          attempt's trace could not be analyzed. Region repairs run
+          fault-free, so this equals [rounds] whenever it is [>= 0]. *)
 }
 
 val apply_batch : t -> Event.t list -> report

@@ -43,6 +43,11 @@ type cell = {
   factor_median : float;
   factor_max : float;
   infinite_windows : int;
+  evictions : int;
+  evict_max : int;
+  evict_factor : float;
+  redecide_max : int;
+  redecide_factor : float;
 }
 
 let median xs =
@@ -62,6 +67,23 @@ let window_factor fair ~stable =
   let s = Fairness.summarize ~mask:stable fair in
   if s.Fairness.nodes = 0 then None else Some s.Fairness.factor
 
+(* Repair-fairness inequality over per-node counts: max / mean across
+   the nodes that were ever alive. Max/mean rather than the paper's
+   max/min because a quiet node legitimately has count 0 — the question
+   is whether churn load concentrates, not whether it reaches everyone.
+   [nan] when nothing was counted. *)
+let count_factor counts ~ever_alive =
+  let sum = ref 0 and n = ref 0 and mx = ref 0 in
+  Array.iteri
+    (fun u c ->
+      if ever_alive.(u) then begin
+        incr n;
+        sum := !sum + c;
+        if c > !mx then mx := c
+      end)
+    counts;
+  if !sum = 0 then nan else float_of_int !mx *. float_of_int !n /. float_of_int !sum
+
 let measure_cell ?metrics (params : params) ~seed =
   if params.window < 1 then invalid_arg "Churn.measure_cell: window";
   let p = params.churn in
@@ -80,6 +102,12 @@ let measure_cell ?metrics (params : params) ~seed =
   let seconds = ref [] in
   let fair = ref (Fairness.create ~n:capacity) in
   let stable = Array.make capacity true in
+  (* Repair fairness: is it the same nodes that keep getting evicted
+     from (or re-decided into) the set? *)
+  let evict = Array.make capacity 0 in
+  let redecide = Array.make capacity 0 in
+  let ever_alive = Array.make capacity false in
+  let prev_mis = ref (Maintain.mis m) in
   let win_len = ref 0 in
   let factors = ref [] and infinite = ref 0 in
   let close_window () =
@@ -109,14 +137,36 @@ let measure_cell ?metrics (params : params) ~seed =
       region_max := max !region_max rs;
       live_sum := !live_sum + r.Maintain.live;
       seconds := r.Maintain.repair_seconds :: !seconds;
-      Fairness.record !fair ~in_mis:(Maintain.mis m);
+      let now = Maintain.mis m in
+      Fairness.record !fair ~in_mis:now;
+      Array.iter (fun u -> redecide.(u) <- redecide.(u) + 1)
+        r.Maintain.region_nodes;
       for u = 0 to capacity - 1 do
-        if not (Dyn_graph.alive g u) then stable.(u) <- false
+        let alive = Dyn_graph.alive g u in
+        if not alive then stable.(u) <- false
+        else begin
+          ever_alive.(u) <- true;
+          (* An eviction is a member pushed out by repair while still
+             up — departures and crashes are churn, not unfairness. *)
+          if !prev_mis.(u) && not now.(u) then evict.(u) <- evict.(u) + 1
+        end
       done;
+      prev_mis := now;
       incr win_len;
       if !win_len = params.window then close_window ())
     stream;
   close_window ();
+  (* Per-node distributions into the registry, over ever-alive nodes
+     (zeros included: the histogram's mass at 0 is the equitable case). *)
+  let ev_hist = Metrics.histogram reg "churn.evictions_per_node" in
+  let rd_hist = Metrics.histogram reg "churn.redecides_per_node" in
+  Array.iteri
+    (fun u alive ->
+      if alive then begin
+        Metrics.observe_int ev_hist evict.(u);
+        Metrics.observe_int rd_hist redecide.(u)
+      end)
+    ever_alive;
   let ms = Array.of_list (List.rev_map (fun s -> 1000. *. s) !seconds) in
   let per sum = float_of_int sum /. float_of_int (max 1 !batches) in
   { seed;
@@ -138,14 +188,20 @@ let measure_cell ?metrics (params : params) ~seed =
     factor_median = median !factors;
     factor_max =
       (match !factors with [] -> nan | fs -> List.fold_left max neg_infinity fs);
-    infinite_windows = !infinite }
+    infinite_windows = !infinite;
+    evictions = Array.fold_left ( + ) 0 evict;
+    evict_max = Array.fold_left max 0 evict;
+    evict_factor = count_factor evict ~ever_alive;
+    redecide_max = Array.fold_left max 0 redecide;
+    redecide_factor = count_factor redecide ~ever_alive }
 
 let measure ?metrics (params : params) =
   List.map (fun seed -> measure_cell ?metrics params ~seed) params.seeds
 
 let header =
   [ "seed"; "batches"; "events"; "applied"; "live"; "region"; "max rg";
-    "p50ms"; "p95ms"; "p99ms"; "esc"; "full"; "flips"; "viol"; "factor" ]
+    "p50ms"; "p95ms"; "p99ms"; "esc"; "full"; "flips"; "viol"; "factor";
+    "evict"; "evfac"; "rdfac" ]
 
 let rows cells =
   List.map
@@ -164,7 +220,10 @@ let rows cells =
         string_of_int c.full_recomputes;
         string_of_int c.flips;
         string_of_int c.violations;
-        Table.float_cell c.factor_median ])
+        Table.float_cell c.factor_median;
+        string_of_int c.evictions;
+        Table.float_cell c.evict_factor;
+        Table.float_cell c.redecide_factor ])
     cells
 
 let run_params (params : params) =
@@ -187,7 +246,8 @@ let run_params (params : params) =
         [ "seed"; "batches"; "events"; "applied"; "skipped"; "live_mean";
           "region_mean"; "region_max"; "p50_ms"; "p95_ms"; "p99_ms";
           "escalations"; "full_recomputes"; "flips"; "violations";
-          "factor_median"; "factor_max"; "infinite_windows" ]
+          "factor_median"; "factor_max"; "infinite_windows"; "evictions";
+          "evict_max"; "evict_factor"; "redecide_max"; "redecide_factor" ]
       (List.map
          (fun c ->
            [ string_of_int c.seed; string_of_int c.batches;
@@ -200,7 +260,12 @@ let run_params (params : params) =
              string_of_int c.flips; string_of_int c.violations;
              Table.float_cell c.factor_median;
              Table.float_cell c.factor_max;
-             string_of_int c.infinite_windows ])
+             string_of_int c.infinite_windows;
+             string_of_int c.evictions;
+             string_of_int c.evict_max;
+             Table.float_cell c.evict_factor;
+             string_of_int c.redecide_max;
+             Table.float_cell c.redecide_factor ])
          cells);
     Printf.printf "csv written to %s\n" path;
     let mpath = path ^ ".metrics.json" in

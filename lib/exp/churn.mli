@@ -36,6 +36,18 @@ type cell = {
   factor_max : float;
   infinite_windows : int;  (** Windows where some always-up node was
                                never in the MIS. *)
+  evictions : int;
+      (** Members pushed out of the set by repair while still alive
+          (departures and crashes are not evictions). *)
+  evict_max : int;  (** Largest per-node eviction count. *)
+  evict_factor : float;
+      (** Eviction inequality: max / mean over ever-alive nodes ([nan]
+          with no evictions). Also observed per node into the
+          [churn.evictions_per_node] histogram. *)
+  redecide_max : int;
+  redecide_factor : float;
+      (** Same for re-decides (region membership per batch;
+          [churn.redecides_per_node]). *)
 }
 
 val measure_cell : ?metrics:Mis_obs.Metrics.t -> params -> seed:int -> cell

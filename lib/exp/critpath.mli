@@ -1,0 +1,9 @@
+(** Critical-path length vs n, Luby vs FairTree (ours): the round-count
+    growth of Lemmas 5 / 9 read off the causal chain reconstructed by
+    {!Mis_obs.Causal} rather than the round counter, plus the chain's
+    composition (delivery vs local steps) and mean per-node slack. On
+    these fault-free runs the critical path must equal the round count
+    exactly — the [len<>rnd] column counts violations and must be 0.
+    Writes [critpath.csv] under [FAIRMIS_OUT] when set. *)
+
+val run : Config.t -> unit

@@ -43,7 +43,10 @@ let all =
       run = Fairness_obs.run };
     { id = "churn"; title = "Dynamic MIS under heavy-tailed churn";
       paper_ref = "Sec. IX WAP scenario, long-running (ours)";
-      run = Churn.run } ]
+      run = Churn.run };
+    { id = "critpath"; title = "Critical-path length vs n, Luby vs FairTree";
+      paper_ref = "Lemmas 5 / 9 via causal analysis (ours)";
+      run = Critpath.run } ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
 let ids () = List.map (fun e -> e.id) all

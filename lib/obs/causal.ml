@@ -1,0 +1,431 @@
+(* Critical-path reconstruction over a validated trace.
+
+   The key structural fact (see the .mli): in the synchronous model every
+   alive, undecided node steps every round, so the longest path into any
+   vertex (u, r) has exactly r edges — its own program-order chain
+   witnesses it, and no edge skips forward by less than one round. The
+   analyzer therefore never materializes the DAG or a distance table: it
+   walks back from the terminal decide one round at a time, preferring a
+   delivery edge (an undelayed message from the previous round, first
+   sender in stream order on ties) over the local program-order step.
+   Delayed deliveries
+   (send >= 2 rounds back) can never lie on a longest path and are
+   skipped outright.
+
+   Cost: the walk asks one min-sender question per round, answered
+   lazily from {!Replay.delivery_index} — per-round bookmarks into the
+   event list, not a materialized table. Each query scans its round's
+   slice once (compare-only on fault-free rounds; per-sender net
+   accounting only on rounds a drop or delay touched), so the whole
+   backtrack is one cheap pass over the stream and the index itself
+   allocates a handful of words. Anything per-node-sized or
+   presentation-only (slack, blame, timelines) is computed on demand
+   outside `analyze`. That is what keeps `analyze` within a few percent
+   of a plain replay (the bench gate `causal/analyze-n1000` holds
+   this). *)
+
+type edge_kind = Start | Local | Delivery of { src : int }
+
+type step = { node : int; round : int; via : edge_kind }
+
+type waste = {
+  w_to_decided : int;
+  w_to_crashed : int;
+  w_run_end : int;
+  w_critical_drops : int;
+}
+
+type t = {
+  summary : Replay.summary;
+  termination : int;
+  terminal : int;
+  path : step array;
+  delivery_steps : int;
+  local_steps : int;
+  node_steps : (int * int) list;
+  waste : waste;
+}
+
+let length t = max 0 (Array.length t.path - 1)
+
+let slack t =
+  Array.map
+    (fun r -> if r < 0 then -1 else t.termination - r)
+    t.summary.Replay.decide_round
+
+(* --- event indexing ------------------------------------------------------ *)
+
+(* The delivery index is {!Replay.delivery_index}: per-round slice
+   bookmarks, fault flags and the drop sites. When `analyze` validates
+   the stream itself it gets the index for free out of
+   {!Replay.replay_indexed}'s event pass; [prep] rebuilds the same
+   structure from a caller-supplied summary (the [?summary] path,
+   [decide_path]). *)
+
+let prep (s : Replay.summary) events =
+  ignore s;
+  match Replay.replay_indexed events with
+  | Ok (_, idx) -> idx
+  | Error _ ->
+    (* Callers on this path hold a summary they obtained from a
+       successful replay of these very events, so this is unreachable
+       for them; still, degrade to an empty index rather than raise. *)
+    Replay.empty_index
+
+let backtrack (p : Replay.delivery_index) ~node ~round =
+  if round < 0 then [||]
+  else begin
+    let steps = ref [] in
+    let cur = ref node in
+    for r = round downto 1 do
+      let src = Replay.index_first_sender p ~round:(r - 1) ~dst:!cur in
+      if src < max_int then begin
+        steps := { node = !cur; round = r; via = Delivery { src } } :: !steps;
+        cur := src
+      end
+      else steps := { node = !cur; round = r; via = Local } :: !steps
+    done;
+    Array.of_list ({ node = !cur; round = 0; via = Start } :: !steps)
+  end
+
+let desc_by_count cmp_key l =
+  List.sort
+    (fun (ka, ca) (kb, cb) ->
+      if ca <> cb then compare cb ca else cmp_key ka kb)
+    l
+
+let analyze ?summary events =
+  let prepped =
+    match summary with
+    | Some s -> Ok (s, prep s events)
+    | None -> Replay.replay_indexed events
+  in
+  match prepped with
+  | Error errs -> Error errs
+  | Ok (s, p) ->
+    (* One direct pass for both: [>] keeps the first maximum, i.e. the
+       smallest node index on ties. *)
+    let termination = ref (-1) and terminal = ref (-1) in
+    let dr = s.Replay.decide_round in
+    for u = 0 to Array.length dr - 1 do
+      if dr.(u) > !termination then begin
+        termination := dr.(u);
+        terminal := u
+      end
+    done;
+    let termination = !termination and terminal = !terminal in
+    let path =
+      if terminal < 0 then [||] else backtrack p ~node:terminal ~round:termination
+    in
+    let delivery_steps = ref 0 and local_steps = ref 0 in
+    Array.iter
+      (fun st ->
+        match st.via with
+        | Delivery _ -> incr delivery_steps
+        | Local -> incr local_steps
+        | Start -> ())
+      path;
+    let ntbl = Hashtbl.create 8 in
+    let bump tbl k =
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+    in
+    Array.iter (fun st -> if st.via <> Start then bump ntbl st.node) path;
+    let node_steps =
+      desc_by_count compare (Hashtbl.fold (fun k c a -> (k, c) :: a) ntbl [])
+    in
+    let on_path = Hashtbl.create 64 in
+    Array.iter (fun st -> Hashtbl.replace on_path (st.node, st.round) ()) path;
+    let w_critical_drops =
+      List.fold_left
+        (fun acc (round, dst) ->
+          if Hashtbl.mem on_path (dst, round + 1) then acc + 1 else acc)
+        0 p.Replay.di_drops
+    in
+    Ok
+      { summary = s; termination; terminal; path;
+        delivery_steps = !delivery_steps; local_steps = !local_steps;
+        node_steps;
+        waste =
+          { w_to_decided = s.Replay.wasted_to_decided;
+            w_to_crashed = s.Replay.wasted_to_crashed;
+            w_run_end = s.Replay.in_flight_end; w_critical_drops } }
+
+let decide_path t events u =
+  let dr = t.summary.Replay.decide_round in
+  if u < 0 || u >= Array.length dr || dr.(u) < 0 then [||]
+  else backtrack (prep t.summary events) ~node:u ~round:dr.(u)
+
+let blame t events =
+  (* Phase of each moving step: the node's newest [Annotate] key at or
+     before the step's round. One forward scan — rounds are
+     nondecreasing in a valid stream, so a later match simply
+     overwrites an earlier one. Scanning the events here instead of
+     logging annotations into the delivery index is what keeps
+     [analyze] inside its <5%-over-replay overhead budget; blame is a
+     presentation-layer aggregate and runs once per report. *)
+  let np = Array.length t.path in
+  let ph = Array.make (max 1 np) "(none)" in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Trace.Annotate { round; node; key; _ } ->
+        for i = 0 to np - 1 do
+          let st = t.path.(i) in
+          if st.via <> Start && st.node = node && round <= st.round then
+            ph.(i) <- key
+        done
+      | _ -> ())
+    events;
+  let btbl = Hashtbl.create 8 in
+  let bump k =
+    Hashtbl.replace btbl k (1 + Option.value ~default:0 (Hashtbl.find_opt btbl k))
+  in
+  Array.iteri (fun i st -> if st.via <> Start then bump ph.(i)) t.path;
+  desc_by_count compare (Hashtbl.fold (fun k c a -> (k, c) :: a) btbl [])
+
+(* --- Perfetto export ----------------------------------------------------- *)
+
+(* Chrome trace-event timestamps are microseconds; one protocol round is
+   rendered as one millisecond, so round r spans [r*1000, (r+1)*1000). *)
+let round_us r = float_of_int (r * 1000)
+
+let meta_event ~pid ~tid ~name ~value =
+  Json.obj
+    ([ ("ph", Json.str "M"); ("pid", Json.int pid) ]
+    @ (match tid with None -> [] | Some t -> [ ("tid", Json.int t) ])
+    @ [ ("name", Json.str name);
+        ("args", Json.obj [ ("name", Json.str value) ]) ])
+
+let timeline events = Json.obj [ ("displayTimeUnit", Json.str "ms");
+                                 ("traceEvents", Json.arr events) ]
+
+let protocol_timeline t events =
+  let s = t.summary in
+  let n = s.Replay.n in
+  let rounds = s.Replay.rounds in
+  (* Per-vertex activity, plus which nodes appear in the stream at all
+     (inactive nodes of a partial view emit nothing and get no track),
+     plus per-node annotations newest first — slice names are phases. *)
+  let sends = Hashtbl.create 256 and recvs = Hashtbl.create 256 in
+  let seen = Array.make (max n 1) false in
+  let ann = Array.make (max n 1) [] in
+  let see u = if u >= 0 && u < n then seen.(u) <- true in
+  let bump tbl k by =
+    Hashtbl.replace tbl k (by + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Trace.Send { round; src; dst } ->
+        see src; see dst;
+        bump sends (src, round) 1
+      | Trace.Recv { round; node; messages } ->
+        see node;
+        bump recvs (node, round) messages
+      | Trace.Annotate { round; node; key; _ } ->
+        see node;
+        if node >= 0 && node < n then ann.(node) <- (round, key) :: ann.(node)
+      | Trace.Decide { node; _ } | Trace.Crash { node; _ } ->
+        see node
+      | _ -> ())
+    events;
+  let phase_at ~node ~round =
+    (* [ann.(node)] is newest-first, so the first entry at or before
+       [round] is the node's phase there. *)
+    match List.find_opt (fun (ar, _) -> ar <= round) ann.(node) with
+    | Some (_, k) -> k
+    | None -> "(none)"
+  in
+  let last_round u =
+    if s.Replay.decide_round.(u) >= 0 then s.Replay.decide_round.(u)
+    else if s.Replay.crash_round.(u) <= rounds then s.Replay.crash_round.(u) - 1
+    else rounds
+  in
+  let out = ref [] in
+  let push e = out := e :: !out in
+  push (meta_event ~pid:1 ~tid:None ~name:"process_name"
+          ~value:(Printf.sprintf "protocol (%s n=%d)" s.Replay.program n));
+  for u = 0 to n - 1 do
+    if seen.(u) then begin
+      push (meta_event ~pid:1 ~tid:(Some u) ~name:"thread_name"
+              ~value:(Printf.sprintf "node %d" u));
+      for r = 0 to last_round u do
+        let sd = Option.value ~default:0 (Hashtbl.find_opt sends (u, r)) in
+        let rc = Option.value ~default:0 (Hashtbl.find_opt recvs (u, r)) in
+        push
+          (Json.obj
+             [ ("ph", Json.str "X"); ("pid", Json.int 1); ("tid", Json.int u);
+               ("ts", Json.float (round_us r)); ("dur", Json.float 1000.);
+               ("name", Json.str (phase_at ~node:u ~round:r));
+               ("cat", Json.str "round");
+               ("args",
+                Json.obj
+                  [ ("round", Json.int r); ("sends", Json.int sd);
+                    ("recvs", Json.int rc) ]) ])
+      done;
+      if s.Replay.decide_round.(u) >= 0 then
+        push
+          (Json.obj
+             [ ("ph", Json.str "i"); ("s", Json.str "t"); ("pid", Json.int 1);
+               ("tid", Json.int u);
+               ("ts", Json.float (round_us s.Replay.decide_round.(u) +. 990.));
+               ("name",
+                Json.str (if s.Replay.in_mis.(u) then "decide: in MIS"
+                          else "decide: out"));
+               ("cat", Json.str "decide") ]);
+      if s.Replay.crash_round.(u) <= rounds then
+        push
+          (Json.obj
+             [ ("ph", Json.str "i"); ("s", Json.str "t"); ("pid", Json.int 1);
+               ("tid", Json.int u);
+               ("ts", Json.float (round_us s.Replay.crash_round.(u)));
+               ("name", Json.str "crash"); ("cat", Json.str "crash") ])
+    end
+  done;
+  (* The critical path as one flow chain: start on the first vertex, a
+     step on every intermediate one, finish on the terminal decide. The
+     mid-slice timestamps bind each flow event to that vertex's slice. *)
+  let np = Array.length t.path in
+  Array.iteri
+    (fun i st ->
+      let ph = if i = 0 then "s" else if i = np - 1 then "f" else "t" in
+      push
+        (Json.obj
+           ([ ("ph", Json.str ph); ("id", Json.int 1);
+              ("pid", Json.int 1); ("tid", Json.int st.node);
+              ("ts", Json.float (round_us st.round +. 500.));
+              ("name", Json.str "critical-path");
+              ("cat", Json.str "critical") ]
+           @ if ph = "f" then [ ("bp", Json.str "e") ] else [])))
+    t.path;
+  timeline (List.rev !out)
+
+let execution_timeline (spans : Prof.span_record list) =
+  let t0 =
+    List.fold_left (fun a (r : Prof.span_record) -> min a r.Prof.sr_begin)
+      infinity spans
+  in
+  let out = ref [] in
+  let push e = out := e :: !out in
+  push (meta_event ~pid:2 ~tid:None ~name:"process_name" ~value:"execution");
+  let domains = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Prof.span_record) ->
+      if not (Hashtbl.mem domains r.Prof.sr_domain) then begin
+        Hashtbl.add domains r.Prof.sr_domain ();
+        push (meta_event ~pid:2 ~tid:(Some r.Prof.sr_domain) ~name:"thread_name"
+                ~value:(Printf.sprintf "domain %d" r.Prof.sr_domain))
+      end;
+      push
+        (Json.obj
+           [ ("ph", Json.str "X"); ("pid", Json.int 2);
+             ("tid", Json.int r.Prof.sr_domain);
+             ("ts", Json.float ((r.Prof.sr_begin -. t0) *. 1e6));
+             ("dur", Json.float ((r.Prof.sr_end -. r.Prof.sr_begin) *. 1e6));
+             ("name", Json.str r.Prof.sr_name); ("cat", Json.str "span");
+             ("args", Json.obj [ ("depth", Json.int r.Prof.sr_depth) ]) ]))
+    spans;
+  timeline (List.rev !out)
+
+(* --- schema check -------------------------------------------------------- *)
+
+let validate_timeline v =
+  let ( let* ) r f = Result.bind r f in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let* evs =
+    match Json.find v "traceEvents" with
+    | Some (Json.Arr l) -> Ok l
+    | Some _ -> fail "traceEvents is not an array"
+    | None -> fail "missing traceEvents"
+  in
+  let is_num = function Json.Int _ | Json.Float _ -> true | _ -> false in
+  let check i e =
+    let field name = Json.find e name in
+    let* ph =
+      match field "ph" with
+      | Some (Json.Str s) when String.length s = 1 -> Ok s
+      | _ -> fail "event %d: missing one-char ph" i
+    in
+    let* () =
+      match field "pid" with
+      | Some (Json.Int _) -> Ok ()
+      | _ -> fail "event %d: missing integer pid" i
+    in
+    let* () =
+      match field "name" with
+      | Some (Json.Str _) -> Ok ()
+      | _ -> fail "event %d: missing name" i
+    in
+    if ph = "M" then Ok ()
+    else
+      let* () =
+        match field "ts" with
+        | Some t when is_num t -> Ok ()
+        | _ -> fail "event %d: missing numeric ts" i
+      in
+      let* () =
+        if ph <> "X" then Ok ()
+        else
+          match field "dur" with
+          | Some d when is_num d -> Ok ()
+          | _ -> fail "event %d: X slice missing numeric dur" i
+      in
+      if ph <> "s" && ph <> "t" && ph <> "f" then Ok ()
+      else
+        match field "id" with
+        | Some (Json.Int _) | Some (Json.Str _) -> Ok ()
+        | _ -> fail "event %d: flow event missing id" i
+  in
+  let rec walk i = function
+    | [] -> Ok ()
+    | e :: rest ->
+      let* () = check i e in
+      walk (i + 1) rest
+  in
+  walk 0 evs
+
+(* --- text summary -------------------------------------------------------- *)
+
+let render ?(top = 5) t events =
+  let b = Buffer.create 512 in
+  let s = t.summary in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  if t.termination < 0 then
+    pf "no node decided: no critical path (%d rounds recorded)\n"
+      s.Replay.rounds
+  else begin
+    pf "termination: round %d at node %d (%s, n=%d, %d rounds%s)\n"
+      t.termination t.terminal s.Replay.program s.Replay.n s.Replay.rounds
+      (if s.Replay.complete then "" else ", incomplete");
+    pf "critical path: %d steps = %d delivery + %d local\n" (length t)
+      t.delivery_steps t.local_steps;
+    let show l fmt_one =
+      let shown = List.filteri (fun i _ -> i < top) l in
+      String.concat ", " (List.map fmt_one shown)
+      ^ if List.length l > top then ", ..." else ""
+    in
+    let bl = blame t events in
+    if bl <> [] then
+      pf "blame: %s\n" (show bl (fun (k, c) -> Printf.sprintf "%s %d" k c));
+    if t.node_steps <> [] then
+      pf "hot nodes: %s\n"
+        (show t.node_steps (fun (u, c) -> Printf.sprintf "%d:%d" u c));
+    let decided = ref 0 and zero = ref 0 and sum = ref 0 and mx = ref 0 in
+    Array.iter
+      (fun sl ->
+        if sl >= 0 then begin
+          incr decided;
+          sum := !sum + sl;
+          if sl = 0 then incr zero;
+          if sl > !mx then mx := sl
+        end)
+      (slack t);
+    if !decided > 0 then
+      pf "slack: mean %.1f, max %d, %d of %d decided with zero slack\n"
+        (float_of_int !sum /. float_of_int !decided)
+        !mx !zero !decided
+  end;
+  pf "waste: %d in flight at decide, %d to crashed, %d past run end, %d drops on critical path\n"
+    t.waste.w_to_decided t.waste.w_to_crashed t.waste.w_run_end
+    t.waste.w_critical_drops;
+  Buffer.contents b

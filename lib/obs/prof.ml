@@ -13,14 +13,45 @@ let make_node name =
   { name; calls = 0; seconds = 0.; allocated_bytes = 0.; minor = 0; major = 0;
     children = Hashtbl.create 4; order = [] }
 
-type t = { root : node; mutable stack : node list }
+(* Raw span records (for timeline export): one per [stop] when recording
+   is on, newest first. Bounded so a long profiled run cannot grow
+   without limit — once the cap is hit further spans only feed the
+   aggregate tree and [sr_dropped] counts what the timeline lost. *)
+type span_record = {
+  sr_name : string;  (* slash-joined path from the root, e.g. "run/rounds" *)
+  sr_begin : float;
+  sr_end : float;
+  sr_domain : int;
+  sr_depth : int;  (* 0 = top-level *)
+}
 
-let create () = { root = make_node ""; stack = [] }
+let span_cap = 1 lsl 20
+
+type t = {
+  root : node;
+  mutable stack : node list;
+  mutable record_spans : bool;
+  mutable spans : span_record list;  (* newest first *)
+  mutable span_count : int;
+  mutable spans_dropped : int;
+}
+
+let create ?(record_spans = false) () =
+  { root = make_node ""; stack = []; record_spans; spans = [];
+    span_count = 0; spans_dropped = 0 }
 
 let reset t =
   Hashtbl.reset t.root.children;
   t.root.order <- [];
-  t.stack <- []
+  t.stack <- [];
+  t.spans <- [];
+  t.span_count <- 0;
+  t.spans_dropped <- 0
+
+let recording t = t.record_spans
+let set_recording t on = t.record_spans <- on
+let spans t = List.rev t.spans
+let spans_dropped t = t.spans_dropped
 
 type handle = {
   h_node : node;
@@ -52,11 +83,27 @@ let start t name =
 let stop t h =
   let st = Gc.quick_stat () in
   let n = h.h_node in
+  let now = Unix.gettimeofday () in
   n.calls <- n.calls + 1;
-  n.seconds <- n.seconds +. (Unix.gettimeofday () -. h.h_t0);
+  n.seconds <- n.seconds +. (now -. h.h_t0);
   n.allocated_bytes <- n.allocated_bytes +. (Gc.allocated_bytes () -. h.h_a0);
   n.minor <- n.minor + (st.Gc.minor_collections - h.h_minor0);
   n.major <- n.major + (st.Gc.major_collections - h.h_major0);
+  if t.record_spans then begin
+    if t.span_count < span_cap then begin
+      let path =
+        String.concat "/"
+          (List.rev_map (fun nd -> nd.name) h.h_prev @ [ n.name ])
+      in
+      t.spans <-
+        { sr_name = path; sr_begin = h.h_t0; sr_end = now;
+          sr_domain = (Domain.self () :> int);
+          sr_depth = List.length h.h_prev }
+        :: t.spans;
+      t.span_count <- t.span_count + 1
+    end
+    else t.spans_dropped <- t.spans_dropped + 1
+  end;
   (* Restoring the pre-start stack also discards any frames an exception
      skipped over, so one leaked span cannot corrupt the tree. *)
   t.stack <- h.h_prev
@@ -153,12 +200,17 @@ let to_metrics t reg =
 
 (* --- the env-gated global profiler -------------------------------------- *)
 
-let enabled_v =
-  lazy
-    (match Sys.getenv_opt "FAIRMIS_PROF" with
-    | Some "1" | Some "true" -> true
-    | Some _ | None -> false)
+let env_flag name =
+  match Sys.getenv_opt name with
+  | Some "1" | Some "true" -> true
+  | Some _ | None -> false
 
+let spans_enabled_v = lazy (env_flag "FAIRMIS_PROF_SPANS")
+let spans_enabled () = Lazy.force spans_enabled_v
+
+(* FAIRMIS_PROF_SPANS implies profiling: recording a timeline without
+   opening spans would record nothing. *)
+let enabled_v = lazy (env_flag "FAIRMIS_PROF" || spans_enabled ())
 let enabled () = Lazy.force enabled_v
 
 (* Domain-local, so spans opened inside parallel map-reduce tasks never
@@ -171,7 +223,7 @@ let reg_all : t list ref = ref []
 
 let dls_key =
   Domain.DLS.new_key (fun () ->
-      let t = create () in
+      let t = create ~record_spans:(spans_enabled ()) () in
       Mutex.lock reg_mutex;
       reg_all := t :: !reg_all;
       Mutex.unlock reg_mutex;
@@ -179,15 +231,26 @@ let dls_key =
 
 let global () = Domain.DLS.get dls_key
 
-let global_tree () =
+let registered () =
   ignore (global ());
-  let all =
-    Mutex.lock reg_mutex;
-    let all = !reg_all in
-    Mutex.unlock reg_mutex;
-    all
-  in
-  merge_forest (List.concat_map tree (List.rev all))
+  Mutex.lock reg_mutex;
+  let all = !reg_all in
+  Mutex.unlock reg_mutex;
+  List.rev all
+
+let global_tree () = merge_forest (List.concat_map tree (registered ()))
+
+let global_spans () =
+  let all = List.concat_map spans (registered ()) in
+  List.sort (fun a b -> compare a.sr_begin b.sr_begin) all
+
+let global_spans_reset () =
+  List.iter
+    (fun t ->
+      t.spans <- [];
+      t.span_count <- 0;
+      t.spans_dropped <- 0)
+    (registered ())
 
 let gspan name f = if enabled () then span (global ()) name f else f ()
 

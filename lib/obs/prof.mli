@@ -22,7 +22,10 @@
 
 type t
 
-val create : unit -> t
+val create : ?record_spans:bool -> unit -> t
+(** [record_spans] (default false) additionally retains one raw
+    {!span_record} per closed span, for timeline export. *)
+
 val reset : t -> unit
 
 val span : t -> string -> (unit -> 'a) -> 'a
@@ -66,16 +69,56 @@ val to_metrics : t -> Metrics.t -> unit
     and counters [prof.p.allocated_bytes] /
     [prof.p.minor_collections] / [prof.p.major_collections]. *)
 
+(** {1 Raw span records}
+
+    When recording is on, every closed span also leaves a flat record
+    carrying its wall-clock begin/end and the id of the domain that ran
+    it — the raw material for the Perfetto execution timeline
+    ({!Causal.execution_timeline}). Aggregate counters above are
+    unaffected. Retention is capped (2^20 records per profiler); spans
+    past the cap still accumulate into the tree but are counted in
+    {!spans_dropped} instead of retained. *)
+
+type span_record = {
+  sr_name : string;  (** Slash-joined path from the root, e.g. ["run/rounds"]. *)
+  sr_begin : float;  (** [Unix.gettimeofday] at [start]. *)
+  sr_end : float;    (** [Unix.gettimeofday] at [stop]. *)
+  sr_domain : int;   (** [(Domain.self () :> int)] of the recording domain. *)
+  sr_depth : int;    (** Nesting depth; 0 = top-level. *)
+}
+
+val recording : t -> bool
+val set_recording : t -> bool -> unit
+
+val spans : t -> span_record list
+(** Retained records, oldest first. *)
+
+val spans_dropped : t -> int
+
 (** {1 The global profiler} *)
 
 val enabled : unit -> bool
-(** [FAIRMIS_PROF=1] (read once). *)
+(** [FAIRMIS_PROF=1] or [FAIRMIS_PROF_SPANS=1] (each read once). *)
+
+val spans_enabled : unit -> bool
+(** [FAIRMIS_PROF_SPANS=1] (read once). When set, every domain's global
+    profiler records raw {!span_record}s, and {!enabled} is forced on so
+    the spans actually open. *)
 
 val global : unit -> t
 (** This domain's profiler (meaningful whether or not enabled). *)
 
 val global_tree : unit -> snapshot list
 (** The merged forest of every domain's global profiler. *)
+
+val global_spans : unit -> span_record list
+(** Raw records of every domain's global profiler, sorted by begin time.
+    Empty unless {!spans_enabled} (or recording was switched on by
+    hand). Call after workers have been joined, like {!global_tree}. *)
+
+val global_spans_reset : unit -> unit
+(** Drop retained records on every registered profiler (aggregate trees
+    are kept) — lets a long-lived process export per-batch timelines. *)
 
 val gspan : string -> (unit -> 'a) -> 'a
 (** Span on the global profiler when {!enabled}, else just the thunk. *)

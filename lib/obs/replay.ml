@@ -168,6 +168,9 @@ type summary = {
   in_flight : int;
   annotations : int;
   complete : bool;
+  wasted_to_decided : int;
+  wasted_to_crashed : int;
+  in_flight_end : int;
   round_stats : round_stat array;
   decide_round : int array;
   in_mis : bool array;
@@ -204,7 +207,72 @@ let err ck fmt =
       if ck.error_count <= ck.limit then ck.errors <- msg :: ck.errors)
     fmt
 
-let replay ?(max_errors = 20) events =
+type delivery_index = {
+  di_slices : Trace.event list array;
+  di_dirty : bool array;
+  di_drops : (int * int) list;
+}
+
+let empty_index = { di_slices = [||]; di_dirty = [||]; di_drops = [] }
+
+(* Sender queries scan the round's slice on demand. A materialized
+   (round x node) matrix costs (rounds + 1) * n words of allocation per
+   replay — the resulting GC pressure alone blew the analyzer's <5%
+   overhead budget — while the critical-path backtrack reads exactly one
+   cell per round, so the whole walk costs at most one cheap pass over
+   the stream. The tie-break among same-round senders is stream order:
+   the runtime emits sends in slot order within a round, so on full
+   static views this is the smallest sender — and a fault-free round
+   can stop scanning at the first match rather than sweep the whole
+   slice for a minimum. Rounds with a drop or delay (flagged in
+   [di_dirty]) pay for per-sender net accounting. *)
+let index_first_sender idx ~round ~dst =
+  if
+    round < 0
+    || round >= Array.length idx.di_slices
+    || round >= Array.length idx.di_dirty
+  then max_int
+  else if not idx.di_dirty.(round) then begin
+    let rec scan = function
+      | [] | Trace.Round_end _ :: _ -> max_int
+      | Trace.Send { src; dst = d; _ } :: rest ->
+        if d = dst then src else scan rest
+      | _ :: rest -> scan rest
+    in
+    scan idx.di_slices.(round)
+  end
+  else begin
+    (* Net accounting for this destination only: a fault may have
+       removed the first sender's only message. A second scan then
+       recovers stream order among the surviving senders. *)
+    let net = Hashtbl.create 8 in
+    let bump src by =
+      Hashtbl.replace net src
+        (by + Option.value ~default:0 (Hashtbl.find_opt net src))
+    in
+    let rec scan = function
+      | [] | Trace.Round_end _ :: _ -> ()
+      | ev :: rest ->
+        (match ev with
+        | Trace.Send { src; dst = d; _ } when d = dst -> bump src 1
+        | Trace.Drop { src; dst = d; _ } when d = dst -> bump src (-1)
+        | Trace.Delay { src; dst = d; _ } when d = dst -> bump src (-1)
+        | _ -> ());
+        scan rest
+    in
+    scan idx.di_slices.(round);
+    let rec first = function
+      | [] | Trace.Round_end _ :: _ -> max_int
+      | Trace.Send { src; dst = d; _ } :: rest ->
+        if d = dst && Option.value ~default:0 (Hashtbl.find_opt net src) > 0
+        then src
+        else first rest
+      | _ :: rest -> first rest
+    in
+    first idx.di_slices.(round)
+  end
+
+let replay_core ~index ?(max_errors = 20) events =
   let ck = { errors = []; error_count = 0; limit = max_errors } in
   (* Pass 1: stream shape and the header. *)
   let program = ref "" in
@@ -220,6 +288,14 @@ let replay ?(max_errors = 20) events =
   let in_round = ref None in
   let last_round = ref (-1) in
   let seen_run_end = ref false in
+  let check_in_round ev round =
+    match !in_round with
+    | Some r when r = round -> ()
+    | Some r ->
+      err ck "%s event carries round %d inside round %d" (Trace.kind ev) round r
+    | None ->
+      err ck "%s event (round %d) outside any round" (Trace.kind ev) round
+  in
   List.iteri
     (fun i ev ->
       if !seen_run_end then err ck "event after run_end (position %d)" i;
@@ -251,13 +327,7 @@ let replay ?(max_errors = 20) events =
       | Trace.Decide { round; _ }
       | Trace.Crash { round; _ }
       | Trace.Annotate { round; _ } ->
-        (match !in_round with
-        | Some r when r = round -> ()
-        | Some r ->
-          err ck "%s event carries round %d inside round %d" (Trace.kind ev)
-            round r
-        | None ->
-          err ck "%s event (round %d) outside any round" (Trace.kind ev) round))
+        check_in_round ev round)
     events;
   if !in_round <> None then err ck "stream ends inside an open round";
   if not !seen_run_end then err ck "stream must end with run_end";
@@ -301,11 +371,24 @@ let replay ?(max_errors = 20) events =
     let c = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
     Hashtbl.replace tbl key (c + by)
   in
-  List.iter
-    (fun ev ->
+  (* Delivery-index state (only touched when [index] is set). The index
+     is just bookmarks: per round the event-list suffix after its begin
+     marker plus a had-faults flag — sender lookups scan the slice
+     lazily (see [index_first_sender]), so indexing adds no per-send work
+     and only a handful of words of allocation. *)
+  let idx_slices = ref [] in
+  let idx_dirtys = ref [] in
+  let idx_dirty = ref false in
+  let idx_drops = ref [] in
+  let handle rest ev =
       match ev with
-      | Trace.Run_begin _ | Trace.Round_begin _ | Trace.Run_end _
+      | Trace.Run_begin _ | Trace.Run_end _
       | Trace.Span_begin _ | Trace.Span_end _ -> ()
+      | Trace.Round_begin _ ->
+        if index then begin
+          idx_slices := rest :: !idx_slices;
+          idx_dirty := false
+        end
       | Trace.Send { round; src; dst } ->
         check_node "send src" round src;
         check_node "send dst" round dst;
@@ -323,7 +406,11 @@ let replay ?(max_errors = 20) events =
         check_node "drop dst" round dst;
         incr drops;
         incr r_drops;
-        if node_ok dst then bump r_to dst (-1)
+        if node_ok dst then bump r_to dst (-1);
+        if index then begin
+          idx_dirty := true;
+          idx_drops := (round, dst) :: !idx_drops
+        end
       | Trace.Delay { round; dst; delay; _ } ->
         check_node "delay dst" round dst;
         if delay < 1 then err ck "round %d: delay event with delay %d < 1" round delay;
@@ -332,7 +419,8 @@ let replay ?(max_errors = 20) events =
         if node_ok dst then begin
           bump r_to dst (-1);
           schedule ~delivery:(round + 1 + delay) ~dst 1
-        end
+        end;
+        if index then idx_dirty := true
       | Trace.Recv { round; node; messages } ->
         check_node "recv" round node;
         received := !received + messages;
@@ -430,11 +518,22 @@ let replay ?(max_errors = 20) events =
         r_drops := 0;
         r_delays := 0;
         r_decides := 0;
-        r_crashes := 0)
-    events;
+        r_crashes := 0;
+        if index then idx_dirtys := !idx_dirty :: !idx_dirtys
+  in
+  let rec go = function
+    | [] -> ()
+    | ev :: rest ->
+      handle rest ev;
+      go rest
+  in
+  go events;
   (* Unreceived deliveries are legal only if the destination had already
      decided, had crashed, or the run ended before the delivery round.
      (Sorted for deterministic error output.) *)
+  let wasted_to_decided = ref 0 in
+  let wasted_to_crashed = ref 0 in
+  let in_flight_end = ref 0 in
   Hashtbl.fold (fun k c acc -> (k, c) :: acc) pending []
   |> List.sort compare
   |> List.iter (fun ((delivery, dst), c) ->
@@ -443,7 +542,14 @@ let replay ?(max_errors = 20) events =
              decide_round.(dst) >= 0 && decide_round.(dst) < delivery
            in
            let crashed_first = crash_round.(dst) <= delivery in
-           if delivery <= rounds && not (decided_first || crashed_first) then
+           (* Classify the waste: a message still pending at run end was
+              sent either to a node that had already decided (in flight
+              at decide), to one that had crashed, or — under delay — to
+              a delivery round past the end of the run. *)
+           if decided_first then wasted_to_decided := !wasted_to_decided + c
+           else if crashed_first then wasted_to_crashed := !wasted_to_crashed + c
+           else if delivery > rounds then in_flight_end := !in_flight_end + c
+           else
              err ck
                "round %d: %d messages delivered to node %d were never received"
                delivery c dst
@@ -491,14 +597,26 @@ let replay ?(max_errors = 20) events =
   if errors <> [] then Error errors
   else
     Ok
-      { program = !program; n; active = !active; rounds; sends = !sends;
-        delivered = !sends - !drops; dropped = !drops; delayed = !delays;
-        decided = !decides; crashed = !crashes; received = !received;
-        in_flight = !run_in_flight;
-        annotations = !annotations;
-        complete = !decides + !crashes = !active;
-        round_stats = Array.of_list (List.rev !round_stats);
-        decide_round; in_mis; crash_round }
+      ( { program = !program; n; active = !active; rounds; sends = !sends;
+          delivered = !sends - !drops; dropped = !drops; delayed = !delays;
+          decided = !decides; crashed = !crashes; received = !received;
+          in_flight = !run_in_flight;
+          annotations = !annotations;
+          complete = !decides + !crashes = !active;
+          wasted_to_decided = !wasted_to_decided;
+          wasted_to_crashed = !wasted_to_crashed;
+          in_flight_end = !in_flight_end;
+          round_stats = Array.of_list (List.rev !round_stats);
+          decide_round; in_mis; crash_round },
+        { di_slices = Array.of_list (List.rev !idx_slices);
+          di_dirty = Array.of_list (List.rev !idx_dirtys);
+          di_drops = !idx_drops } )
+
+let replay ?max_errors events =
+  Result.map fst (replay_core ~index:false ?max_errors events)
+
+let replay_indexed ?max_errors events =
+  replay_core ~index:true ?max_errors events
 
 let replay_file ?max_errors path =
   match of_file path with

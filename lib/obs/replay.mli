@@ -73,6 +73,15 @@ type summary = {
           receive step; always [delivered - received]. *)
   annotations : int;
   complete : bool;  (** [decided + crashed = active]. *)
+  wasted_to_decided : int;
+      (** Messages still pending at run end whose destination had already
+          decided before the delivery round — "in flight at decide". *)
+  wasted_to_crashed : int;
+      (** Pending messages whose destination crashed before delivery. *)
+  in_flight_end : int;
+      (** Pending messages whose (delayed) delivery round lies past the
+          end of the run. [wasted_to_decided + wasted_to_crashed +
+          in_flight_end = in_flight]. *)
   round_stats : round_stat array;  (** Length [rounds + 1] (round 0 is
                                        the init step). *)
   decide_round : int array;  (** Per node index; [-1] if undecided. *)
@@ -85,6 +94,41 @@ val replay : ?max_errors:int -> Trace.event list -> (summary, string list) resul
 (** Validate the invariants above and reconstruct the summary. On failure
     returns every violation found in stream order (at most [max_errors],
     default 20, plus a suppression note). *)
+
+type delivery_index = {
+  di_slices : Trace.event list array;
+      (** Per round: the stream suffix right after the round's
+          [Round_begin]. Bookmarks, not copies — sender lookups scan a
+          round's slice lazily via {!index_first_sender}, so building
+          the index allocates a handful of words rather than a
+          (rounds x nodes) matrix (whose GC pressure alone broke the
+          analyzer's <5% overhead budget). *)
+  di_dirty : bool array;
+      (** Per round: whether it contained a drop or delay, i.e. whether
+          a sender lookup must do per-sender net accounting. *)
+  di_drops : (int * int) list;  (** [(send round, dst)] per [Drop]. *)
+}
+
+val index_first_sender : delivery_index -> round:int -> dst:int -> int
+(** First [src] in stream order with a net undelayed delivery into
+    [dst] sent at [round] (arriving at [round + 1]); [max_int] if none.
+    The runtime emits sends in slot order within a round, so on full
+    static views this is the smallest such sender. Cost: fault-free
+    rounds stop scanning the round's slice at the first match; rounds
+    flagged in [di_dirty] sweep it for per-sender net accounting. *)
+
+val empty_index : delivery_index
+(** Index with no deliveries, annotations, or drops. *)
+
+val replay_indexed :
+  ?max_errors:int ->
+  Trace.event list ->
+  (summary * delivery_index, string list) result
+(** {!replay} that additionally builds the delivery index
+    {!Causal.analyze} walks. Collected inside replay's existing event
+    pass — per-round bookmarks only, no per-send work — so this stays
+    within a few percent of plain {!replay} (the [causal/analyze-n1000]
+    bench row gates it). *)
 
 val replay_file : ?max_errors:int -> string -> (summary, string list) result
 (** {!of_file} composed with {!replay}; parse errors come back as a

@@ -68,6 +68,11 @@ let map_reduce ?domains ?chunk ?obs ~tasks ~init ~merge task =
         if c >= nchunks then continue := false
         else begin
           match
+            (* One span per claimed chunk: with FAIRMIS_PROF_SPANS=1 the
+               retained records give a per-domain chunk timeline (the
+               Perfetto execution view); otherwise this is the usual
+               env-gated no-op. *)
+            Mis_obs.Prof.gspan "parallel.chunk" @@ fun () ->
             let acc = init () in
             let lo = c * chunk and hi = min tasks ((c + 1) * chunk) in
             for i = lo to hi - 1 do

@@ -141,7 +141,7 @@ let test_runners_valid () =
 (* Registry *)
 
 let test_registry () =
-  Alcotest.(check int) "18 experiments" 18 (List.length Mis_exp.Registry.all);
+  Alcotest.(check int) "19 experiments" 19 (List.length Mis_exp.Registry.all);
   Alcotest.(check bool) "find table1" true (Mis_exp.Registry.find "table1" <> None);
   Alcotest.(check bool) "unknown" true (Mis_exp.Registry.find "nope" = None);
   let ids = Mis_exp.Registry.ids () in

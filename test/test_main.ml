@@ -7,5 +7,5 @@ let () =
     @ Test_stats.suite @ Test_parallel.suite @ Test_io.suite @ Test_exp.suite
     @ Test_edge_cases.suite
     @ Test_fairness.suite @ Test_obs.suite @ Test_telemetry.suite
-    @ Test_replay.suite
+    @ Test_replay.suite @ Test_causal.suite
     @ Test_engine.suite @ Test_dyn.suite)
