@@ -4,7 +4,9 @@
      dune exec bench/main.exe            # every experiment, then timing
      dune exec bench/main.exe -- table1 fig4
      dune exec bench/main.exe -- timing  # Bechamel micro-benchmarks only
+     dune exec bench/main.exe -- pool    # worker pool vs spawn-per-call engine
      dune exec bench/main.exe -- engine  # engine reuse vs per-trial rebuild
+     dune exec bench/main.exe -- xl      # n = 1e5 / 1e6 single-run rows
      dune exec bench/main.exe -- list
 
    Environment: FAIRMIS_TRIALS, FAIRMIS_FULL, FAIRMIS_NYC, FAIRMIS_DOMAINS,
@@ -117,27 +119,46 @@ let run_timing () =
   print_estimates estimates;
   estimates
 
-(* Parallel-engine scaling: wall-clock of a fixed 1000-trial fairness
-   workload (Luby on a 1000-node random tree) at 1 / 2 / 4 domains. Whole
+(* Worker-pool scaling: wall-clock of a fixed 1000-trial fairness
+   workload (Luby on a 1000-node random tree) at 1 / 2 / 4 requested
+   domains through the persistent pool, plus the retained
+   spawn-per-call engine at 4 domains as the tax reference. Whole
    map-reduce invocations are the unit of work, so this is measured
-   best-of-2 with a plain clock rather than through Bechamel. History
-   entries record ns per trial; on a multi-core host the domains-4 row
-   should sit well under the domains-1 row, and `bench-diff` will flag a
-   scaling regression like any other slowdown. *)
-let run_parallel_scaling () =
-  print_endline "== parallel: 1000-trial fairness workload across domains";
+   best-of-N with a plain clock rather than through Bechamel. The pool
+   clamps active domains to the hardware (`FAIRMIS_POOL_CAP`), so the
+   pooled domains-4 row measures what a caller actually gets: real
+   parallel speedup on a multi-core host, serial parity on a 1-core one
+   — never the old oversubscription collapse, which the spawn row
+   reproduces on purpose. History entries record ns per trial;
+   `bench-diff --only parallel/pool` hard-gates the pooled rows. *)
+let run_pool_scaling () =
+  print_endline
+    "== parallel: 1000-trial fairness workload, worker pool vs spawn engine";
   let trials = 1000 and n = 1000 in
   let view = View.full (Helpers_bench.random_tree n) in
-  let work domains =
+  let pool_work domains =
     let spec = { Mis_exp.Trials.trials; seed = 11; domains = Some domains } in
     ignore
       (Mis_exp.Trials.fairness spec ~n (fun acc ~seed ->
            Mis_obs.Fairness.record acc
              ~in_mis:(Fairmis.Luby.run view (Rand_plan.make seed))))
   in
-  let time_best domains =
+  let spawn_work domains =
+    (* the same fold, forced through the spawn-per-call reference
+       engine: fresh domains every call, no hardware clamp *)
+    ignore
+      (Mis_stats.Parallel.map_reduce_unpooled ~domains ~tasks:trials
+         ~init:(fun () -> Mis_obs.Fairness.create ~n)
+         ~merge:(fun a b ->
+           Mis_obs.Fairness.merge a b;
+           a)
+         (fun acc i ->
+           Mis_obs.Fairness.record acc
+             ~in_mis:(Fairmis.Luby.run view (Rand_plan.make (11 + i)))))
+  in
+  let time_best work domains =
     let best = ref infinity in
-    for _ = 1 to 2 do
+    for _ = 1 to 3 do
       let t0 = Unix.gettimeofday () in
       work domains;
       let dt = Unix.gettimeofday () -. t0 in
@@ -145,23 +166,78 @@ let run_parallel_scaling () =
     done;
     !best
   in
-  let secs = List.map (fun d -> (d, time_best d)) [ 1; 2; 4 ] in
-  let base = List.assoc 1 secs in
+  let pooled = List.map (fun d -> (d, time_best pool_work d)) [ 1; 2; 4 ] in
+  let spawn4 = time_best spawn_work 4 in
+  Mis_stats.Parallel.shutdown ();
+  let base = List.assoc 1 pooled in
   let ns_per_trial s = s *. 1e9 /. float_of_int trials in
   Mis_exp.Table.print
-    ~header:[ "domains"; "s/run"; "ns/trial"; "speedup" ]
+    ~header:[ "engine"; "domains"; "s/run"; "ns/trial"; "speedup" ]
     (List.map
        (fun (d, s) ->
-         [ string_of_int d; Printf.sprintf "%.3f" s;
+         [ "pool"; string_of_int d; Printf.sprintf "%.3f" s;
            Printf.sprintf "%.0f" (ns_per_trial s);
            Printf.sprintf "%.2fx" (base /. s) ])
-       secs);
-  print_newline ();
+       pooled
+    @ [ [ "spawn"; "4"; Printf.sprintf "%.3f" spawn4;
+          Printf.sprintf "%.0f" (ns_per_trial spawn4);
+          Printf.sprintf "%.2fx" (base /. spawn4) ] ]);
+  Printf.printf "(pool cap %d on this host; pool holds %d worker(s))\n\n"
+    (Mis_stats.Parallel.pool_cap ())
+    (Mis_stats.Parallel.pool_size ());
   List.map
     (fun (d, s) ->
-      ( Printf.sprintf "parallel/fairness-n%d-trials%d/domains-%d" n trials d,
+      ( Printf.sprintf "parallel/pool/fairness-n%d-trials%d/domains-%d" n
+          trials d,
         Some (ns_per_trial s) ))
-    secs
+    pooled
+  @ [ ( Printf.sprintf "parallel/spawn/fairness-n%d-trials%d/domains-4" n
+          trials,
+        Some (ns_per_trial spawn4) ) ]
+
+(* engine/xl rows: single protocol runs at n = 10^5 and 10^6 on the
+   compiled engine over direct-CSR attachment trees — the scale tier
+   that motivated the pool (per-measurement spawn or rebuild overhead
+   would drown the signal here). Build and run are reported separately:
+   the build row prices `of_parents` + `Engine.create` (all O(n + m)
+   array fills), the reuse row one full Luby execution on the prebuilt
+   engine. Single-shot wall clock, best of 2 — at eight-plus seconds per
+   10^6-node run, Bechamel's sampling would take minutes for no extra
+   signal. `bench-diff --only engine/xl` hard-gates all four rows. *)
+let run_xl_bench () =
+  print_endline "== engine/xl: 1e5 / 1e6-node single runs on the compiled engine";
+  let row n =
+    let g = Mis_workload.Trees.random_attachment_xl (Mis_util.Splitmix.of_seed 97) ~n in
+    let t0 = Unix.gettimeofday () in
+    let eng = Mis_sim.Runtime.Engine.create (View.full g) in
+    let build = Unix.gettimeofday () -. t0 in
+    let best = ref infinity and rounds = ref 0 in
+    for k = 1 to 2 do
+      let t0 = Unix.gettimeofday () in
+      let o = Fairmis.Luby.run_distributed_on eng (Rand_plan.make k) in
+      let dt = Unix.gettimeofday () -. t0 in
+      rounds := o.Mis_sim.Runtime.rounds;
+      if dt < !best then best := dt
+    done;
+    ( n,
+      build,
+      !best,
+      !rounds,
+      [ (Printf.sprintf "engine/xl/build-n%d" n, Some (build *. 1e9));
+        (Printf.sprintf "engine/xl/luby-n%d-reuse" n, Some (!best *. 1e9)) ] )
+  in
+  let rows = List.map row [ 100_000; 1_000_000 ] in
+  Mis_exp.Table.print
+    ~header:[ "n"; "build s"; "run s"; "rounds"; "ns/node/round" ]
+    (List.map
+       (fun (n, build, run, rounds, _) ->
+         [ string_of_int n; Printf.sprintf "%.3f" build;
+           Printf.sprintf "%.3f" run; string_of_int rounds;
+           Printf.sprintf "%.1f"
+             (run *. 1e9 /. float_of_int (n * max 1 rounds)) ])
+       rows);
+  print_newline ();
+  List.concat_map (fun (_, _, _, _, r) -> r) rows
 
 (* Compiled-engine rows: the same simulator workload through the
    per-trial-rebuild path (`Runtime.run`, which compiles the view every
@@ -475,7 +551,9 @@ let () =
           e.Mis_exp.Registry.title e.Mis_exp.Registry.paper_ref)
       Mis_exp.Registry.all;
     print_endline "timing     Bechamel micro-benchmarks";
+    print_endline "pool       1000-trial fairness: worker pool vs spawn engine";
     print_endline "engine     compiled-engine reuse vs per-trial rebuild";
+    print_endline "xl         single runs at n = 1e5 / 1e6 on the compiled engine";
     print_endline "dyn        incremental repair vs full recompute per batch";
     print_endline "telemetry  engine hot path with live telemetry off vs on";
     print_endline "causal     trace replay vs replay + critical-path analysis"
@@ -486,7 +564,7 @@ let () =
       Mis_exp.Registry.all;
     let timing = run_timing () in
     let timing =
-      timing @ run_parallel_scaling () @ run_engine_bench ()
+      timing @ run_pool_scaling () @ run_engine_bench () @ run_xl_bench ()
       @ run_churn_bench () @ run_telemetry_bench () @ run_causal_bench ()
     in
     append_history ~cfg timing;
@@ -498,9 +576,11 @@ let () =
       (fun id ->
         if id = "timing" then begin
           let t = run_timing () in
-          timing := !timing @ t @ run_parallel_scaling ()
+          timing := !timing @ t @ run_pool_scaling ()
         end
+        else if id = "pool" then timing := !timing @ run_pool_scaling ()
         else if id = "engine" then timing := !timing @ run_engine_bench ()
+        else if id = "xl" then timing := !timing @ run_xl_bench ()
         else if id = "dyn" then timing := !timing @ run_churn_bench ()
         else if id = "telemetry" then
           timing := !timing @ run_telemetry_bench ()

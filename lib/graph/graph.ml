@@ -53,6 +53,52 @@ let of_edge_array ~n edges =
 
 let of_edges ~n edges = of_edge_array ~n (Array.of_list edges)
 
+(* Direct CSR construction for attachment-order trees: node i > 0 hangs
+   off parents.(i) < i, so the input is a simple acyclic tree by
+   construction and the duplicate-check table, the edge tuple array and
+   all intermediate lists of [of_edge_array] can be skipped — only O(n)
+   int arrays are ever live. Edge i-1 is (parents.(i), i) and arcs are
+   pushed in (child, parent) order, exactly what
+   [of_edge_array ~n [| (1, parents.(1)); (2, parents.(2)); ... |]]
+   would produce, so the two constructors are interchangeable bit for
+   bit. *)
+let of_parents parents =
+  let n = Array.length parents in
+  if n = 0 then invalid_arg "Graph.of_parents: empty";
+  if parents.(0) <> -1 then invalid_arg "Graph.of_parents: parents.(0)";
+  for i = 1 to n - 1 do
+    let p = parents.(i) in
+    if p < 0 || p >= i then
+      invalid_arg "Graph.of_parents: parents.(i) must lie in [0, i)"
+  done;
+  let m = n - 1 in
+  let deg = Array.make n 0 in
+  for i = 1 to n - 1 do
+    deg.(i) <- deg.(i) + 1;
+    let p = parents.(i) in
+    deg.(p) <- deg.(p) + 1
+  done;
+  let off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    off.(i + 1) <- off.(i) + deg.(i)
+  done;
+  let cursor = Array.sub off 0 n in
+  let adj = Array.make (2 * m) 0 and adj_edge = Array.make (2 * m) 0 in
+  let edge_u = Array.make m 0 and edge_v = Array.make m 0 in
+  for e = 0 to m - 1 do
+    let u = e + 1 in
+    let v = parents.(u) in
+    edge_u.(e) <- v;
+    edge_v.(e) <- u;
+    adj.(cursor.(u)) <- v;
+    adj_edge.(cursor.(u)) <- e;
+    cursor.(u) <- cursor.(u) + 1;
+    adj.(cursor.(v)) <- u;
+    adj_edge.(cursor.(v)) <- e;
+    cursor.(v) <- cursor.(v) + 1
+  done;
+  { n; off; adj; adj_edge; edge_u; edge_v }
+
 let degree t u = t.off.(u + 1) - t.off.(u)
 
 let max_degree t =

@@ -14,6 +14,19 @@ val of_edges : n:int -> (int * int) list -> t
 
 val of_edge_array : n:int -> (int * int) array -> t
 
+val of_parents : int array -> t
+(** [of_parents parents] builds the tree in which node [i > 0] is joined
+    to [parents.(i)], with [parents.(0) = -1] marking the root. Edge
+    [i - 1] is [(parents.(i), i)], and node ids, edge ids and adjacency
+    order are bit-identical to
+    [of_edge_array ~n [| (1, parents.(1)); ...; (n-1, parents.(n-1)) |]]
+    — but construction is direct CSR fill in O(n) int arrays with no
+    edge tuples, lists or hash tables, which is what makes n = 10^6
+    topologies cheap to materialize.
+    @raise Invalid_argument unless [parents.(0) = -1] and
+    [0 <= parents.(i) < i] for every [i >= 1] (which guarantees a simple
+    acyclic connected tree). *)
+
 val n : t -> int
 (** Number of nodes. *)
 

@@ -3,7 +3,7 @@ type t = {
   id : int;
   n : int;
   neighbor_ids : int array;
-  rng : Mis_util.Splitmix.t;
+  mutable rng : Mis_util.Splitmix.t;
 }
 
 let degree t = Array.length t.neighbor_ids

@@ -8,7 +8,10 @@ type t = {
   id : int;  (** Unique identifier. *)
   n : int;  (** Number of nodes in the whole network. *)
   neighbor_ids : int array;  (** IDs of the (active) neighbors. *)
-  rng : Mis_util.Splitmix.t;  (** Node-local random stream. *)
+  mutable rng : Mis_util.Splitmix.t;
+      (** Node-local random stream. Mutable so the compiled engine can
+          re-seed a cached context array between runs instead of
+          allocating [n] fresh records per execution. *)
 }
 
 val degree : t -> int

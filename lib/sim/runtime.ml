@@ -131,6 +131,10 @@ module Engine = struct
     seq_val : int array;
     mutable token : int;
     mutable ring : 'm vec array array;
+    (* Per-slot contexts, built once: everything but [rng] is immutable
+       across runs, so [exec] only re-seeds the rng field instead of
+       allocating [nslots] records per execution. *)
+    ectx : Node_ctx.t array;
   }
 
   let create ?ids view =
@@ -177,9 +181,17 @@ module Engine = struct
       Array.init nslots (fun s ->
           Array.init deg.(s) (fun k -> ids.(adj_node.(adj_off.(s) + k))))
     in
+    let blank_rng = Mis_util.Splitmix.of_seed 0 in
+    let ectx =
+      Array.mapi
+        (fun s u ->
+          { Node_ctx.index = u; id = ids.(u); n; neighbor_ids = nbr_ids.(s);
+            rng = blank_rng })
+        active
+    in
     let e =
       { e_view = view; n; ids; active; slot; adj_off; adj_node; adj_sorted;
-        nbr_ids; index_of_id;
+        nbr_ids; index_of_id; ectx;
         states = Array.make nslots None;
         live = Array.make nslots 0;
         live_len = 0;
@@ -243,13 +255,11 @@ module Engine = struct
       done;
     let ring = e.ring in
     let states = e.states in
-    let ctx =
-      Array.mapi
-        (fun s u ->
-          { Node_ctx.index = u; id = e.ids.(u); n;
-            neighbor_ids = e.nbr_ids.(s); rng = rng_of u })
-        active
-    in
+    (* Re-seed the cached contexts in slot order — the same [rng_of]
+       call order the old per-exec allocation used, so keyed streams are
+       drawn identically. *)
+    let ctx = e.ectx in
+    Array.iteri (fun s u -> ctx.(s).Node_ctx.rng <- rng_of u) active;
     let output = Array.make n false in
     let decided = Array.make n false in
     let crashed = Array.make n false in

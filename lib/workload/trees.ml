@@ -101,6 +101,23 @@ let random_attachment rng ~n =
   if n < 1 then invalid_arg "Trees.random_attachment";
   of_parent_edges n (List.init (n - 1) (fun i -> (i + 1, Splitmix.int rng (i + 1))))
 
+(* Allocation-lean attachment trees for the engine/xl scale (10^5..10^7
+   nodes): same uniform-attachment distribution as [random_attachment],
+   but the parent array feeds [Graph.of_parents] directly — no edge
+   lists, tuples or hash tables on the way to CSR. A separate entry
+   point (rather than a rewrite of [random_attachment]) because the
+   list-based generator's rng-consumption and edge order are pinned by
+   golden tests; this one draws parents in index order. *)
+let attachment_parents rng ~n =
+  if n < 1 then invalid_arg "Trees.attachment_parents";
+  let parents = Array.make n (-1) in
+  for i = 1 to n - 1 do
+    parents.(i) <- Splitmix.int rng i
+  done;
+  parents
+
+let random_attachment_xl rng ~n = Graph.of_parents (attachment_parents rng ~n)
+
 let preferential_attachment rng ~n =
   if n < 1 then invalid_arg "Trees.preferential_attachment";
   if n = 1 then of_parent_edges 1 []

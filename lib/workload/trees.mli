@@ -31,3 +31,16 @@ val random_attachment : Mis_util.Splitmix.t -> n:int -> Mis_graph.Graph.t
 val preferential_attachment : Mis_util.Splitmix.t -> n:int -> Mis_graph.Graph.t
 (** Each node attaches to an earlier node chosen proportionally to degree,
     producing hub-heavy trees (high Luby unfairness). *)
+
+val attachment_parents : Mis_util.Splitmix.t -> n:int -> int array
+(** Uniform-attachment parent array ([parents.(0) = -1], node [i]
+    attaches to a uniform earlier node), drawn in index order — the raw
+    material for {!Mis_graph.Graph.of_parents}. *)
+
+val random_attachment_xl : Mis_util.Splitmix.t -> n:int -> Mis_graph.Graph.t
+(** [Graph.of_parents (attachment_parents rng ~n)]: the same uniform
+    attachment distribution as {!random_attachment} built via direct CSR
+    fill — O(n) int arrays, no intermediate edge list — for topologies in
+    the 10^5..10^7 node range ([engine/xl] benches and smoke tests). The
+    rng stream and edge order differ from {!random_attachment}, which
+    stays untouched because golden tests pin its output. *)

@@ -339,9 +339,56 @@ let prop_rooted_roundtrip =
            (fun (u, v) -> Graph.mem_edge g2 u v)
            (Graph.edges g))
 
+(* --- of_parents: direct CSR tree construction --------------------------- *)
+
+let test_of_parents_validation () =
+  let expect_invalid name parents =
+    match Graph.of_parents parents with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "empty" [||];
+  expect_invalid "root marker missing" [| 0 |];
+  expect_invalid "self parent" [| -1; 1 |];
+  expect_invalid "forward parent" [| -1; 2; 0 |];
+  expect_invalid "negative parent" [| -1; 0; -3 |]
+
+let prop_of_parents_matches_edge_list =
+  (* of_parents promises the CSR layout of of_edge_array on the edge
+     list [(1, p1); (2, p2); ...] — same node ids, edge ids, adjacency
+     and arc order, just without materializing the edges. *)
+  Helpers.qtest ~count:60 "of_parents = of_edge_array on attachment trees"
+    QCheck.(pair (int_range 1 80) Helpers.arb_seed)
+    (fun (n, seed) ->
+      let rng = Splitmix.of_seed seed in
+      let parents = Array.init n (fun i -> if i = 0 then -1 else Splitmix.int rng i) in
+      let direct = Graph.of_parents parents in
+      let reference =
+        Graph.of_edge_array ~n
+          (Array.init (n - 1) (fun e -> (e + 1, parents.(e + 1))))
+      in
+      Graph.n direct = Graph.n reference
+      && Graph.m direct = Graph.m reference
+      && Graph.edges direct = Graph.edges reference
+      && List.for_all
+           (fun u ->
+             Graph.neighbors direct u = Graph.neighbors reference u
+             &&
+             let arcs g =
+               let acc = ref [] in
+               Graph.iter_adj_e g u (fun v e -> acc := (v, e) :: !acc);
+               !acc
+             in
+             arcs direct = arcs reference)
+           (List.init n Fun.id)
+      && Traverse.is_tree (View.full direct))
+
 let suite =
   [ ( "graph.core",
       [ Alcotest.test_case "of_edges validation" `Quick test_of_edges_validation;
+        Alcotest.test_case "of_parents validation" `Quick
+          test_of_parents_validation;
+        prop_of_parents_matches_edge_list;
         Alcotest.test_case "degrees" `Quick test_degrees;
         Alcotest.test_case "mem_edge" `Quick test_mem_edge;
         Alcotest.test_case "edge ids" `Quick test_edge_ids;

@@ -271,6 +271,287 @@ let test_default_domains_env () =
   with_domains_env "-2" fallback;
   with_domains_env "banana" fallback
 
+(* --- the worker pool ---------------------------------------------------- *)
+
+let with_env name value f =
+  let old = Sys.getenv_opt name in
+  Unix.putenv name value;
+  Fun.protect
+    ~finally:(fun () ->
+      (* putenv cannot unset; an empty/garbage value parses as unset. *)
+      Unix.putenv name (Option.value old ~default:""))
+    f
+
+(* Raise the active-domain clamp so these tests exercise real pooled
+   workers even on a 1-core box, and shut the pool down afterwards so no
+   parked domains outlive the test (every live domain joins the minor-GC
+   rendezvous and would slow the rest of the suite). *)
+let with_pool_cap cap f =
+  with_env "FAIRMIS_POOL_CAP" (string_of_int cap) (fun () ->
+      Fun.protect ~finally:Parallel.shutdown f)
+
+let float_bits ~domains () =
+  let r =
+    Parallel.map_reduce ~domains ~chunk:9 ~tasks:333
+      ~init:(fun () -> ref 0.)
+      ~merge:(fun a b ->
+        a := !a +. !b;
+        a)
+      (fun acc i -> acc := !acc +. (1. /. float_of_int (i + 1)))
+  in
+  Int64.bits_of_float !r
+
+(* The warm-vs-cold battery: the very first call after a (re)spawn and
+   the hundredth reuse of the same pool must both be bit-identical to
+   the serial reference, at every domain count — the pool's state is
+   invisible in the output. *)
+let test_pool_cold_vs_warm () =
+  with_pool_cap 8 (fun () ->
+      let f i = (i * 31) lxor (i lsr 1) in
+      let want_list = List.init 50 f in
+      let want_bits = float_bits ~domains:1 () in
+      List.iter
+        (fun domains ->
+          Parallel.shutdown ();
+          (* cold pool: this call respawns the workers *)
+          let cold = collect ~chunk:7 ~domains ~tasks:50 f in
+          Alcotest.(check (list int))
+            (Printf.sprintf "cold run, d=%d" domains)
+            want_list !cold;
+          Alcotest.(check int64)
+            (Printf.sprintf "cold float bits, d=%d" domains)
+            want_bits (float_bits ~domains ());
+          for k = 1 to 100 do
+            let warm = collect ~chunk:7 ~domains ~tasks:50 f in
+            if !warm <> want_list then
+              Alcotest.failf "warm reuse #%d diverged at d=%d" k domains;
+            if k mod 10 = 0 then
+              Alcotest.(check int64)
+                (Printf.sprintf "warm float bits #%d, d=%d" k domains)
+                want_bits (float_bits ~domains ())
+          done)
+        [ 1; 2; 3; 8 ])
+
+let prop_pool_warm_cold_invariance =
+  Helpers.qtest ~count:25 "pool determinism: warm vs cold x domains x chunk"
+    QCheck.(pair (int_range 0 60) (int_range 1 17))
+    (fun (tasks, chunk) ->
+      with_pool_cap 8 (fun () ->
+          let f i = (i * i) - (3 * i) in
+          let reference = List.init tasks f in
+          List.for_all
+            (fun domains ->
+              Parallel.shutdown ();
+              let cold = !(collect ~chunk ~domains ~tasks f) in
+              let warm = !(collect ~chunk ~domains ~tasks f) in
+              cold = reference && warm = reference)
+            [ 1; 2; 3; 8 ]))
+
+let test_pool_survives_raising_tasks () =
+  with_pool_cap 8 (fun () ->
+      Parallel.shutdown ();
+      ignore (collect ~chunk:1 ~domains:4 ~tasks:16 (fun i -> i));
+      let size0 = Parallel.pool_size () in
+      let spawned0 = Parallel.pool_spawned_total () in
+      Alcotest.(check int) "pool warmed to 3 workers" 3 size0;
+      for _ = 1 to 30 do
+        match raising_run ~domains:4 () with
+        | _ -> Alcotest.fail "expected Boom"
+        | exception Boom 5 -> ()
+        | exception e ->
+          Alcotest.failf "wrong exception %s" (Printexc.to_string e)
+      done;
+      Alcotest.(check int) "no leaked domains" size0 (Parallel.pool_size ());
+      Alcotest.(check int) "no respawn churn" spawned0
+        (Parallel.pool_spawned_total ());
+      let total =
+        Parallel.map_reduce ~domains:4 ~tasks:100
+          ~init:(fun () -> ref 0)
+          ~merge:(fun a b ->
+            a := !a + !b;
+            a)
+          (fun acc i -> acc := !acc + i)
+      in
+      Alcotest.(check int) "pool reusable after failures" 4950 !total)
+
+let test_pool_shutdown_then_reuse () =
+  with_pool_cap 8 (fun () ->
+      Parallel.shutdown ();
+      let spawned0 = Parallel.pool_spawned_total () in
+      ignore (collect ~chunk:1 ~domains:3 ~tasks:12 (fun i -> i));
+      Alcotest.(check int) "grown to 2 workers" 2 (Parallel.pool_size ());
+      Alcotest.(check int) "2 domains spawned" (spawned0 + 2)
+        (Parallel.pool_spawned_total ());
+      Parallel.shutdown ();
+      Alcotest.(check int) "empty after shutdown" 0 (Parallel.pool_size ());
+      Parallel.shutdown ();
+      Alcotest.(check int) "shutdown is idempotent" 0 (Parallel.pool_size ());
+      let got = collect ~chunk:1 ~domains:3 ~tasks:12 (fun i -> i * 2) in
+      Alcotest.(check (list int))
+        "respawned pool computes correctly"
+        (List.init 12 (fun i -> i * 2))
+        !got;
+      Alcotest.(check int) "respawn visible in spawn counter" (spawned0 + 4)
+        (Parallel.pool_spawned_total ()))
+
+let test_shutdown_inside_task_rejected () =
+  with_pool_cap 8 (fun () ->
+      Alcotest.check_raises "shutdown from a task"
+        (Invalid_argument "Parallel.shutdown: called from inside map_reduce")
+        (fun () ->
+          ignore
+            (Parallel.map_reduce ~domains:1 ~chunk:1 ~tasks:2
+               ~init:(fun () -> ())
+               ~merge:(fun () () -> ())
+               (fun () _ -> Parallel.shutdown ()))))
+
+let test_nested_map_reduce_serialized () =
+  (* A map_reduce from inside a running task must not touch the pool
+     (the outer job owns it): it runs serially on the calling domain,
+     produces the same answer, and publishes no job. *)
+  with_pool_cap 8 (fun () ->
+      Parallel.shutdown ();
+      ignore (collect ~chunk:1 ~domains:4 ~tasks:4 (fun i -> i));
+      let jobs0 = Parallel.pool_jobs_total () in
+      let got =
+        Parallel.map_reduce ~domains:4 ~chunk:1 ~tasks:8
+          ~init:(fun () -> ref 0)
+          ~merge:(fun a b ->
+            a := !a + !b;
+            a)
+          (fun acc i ->
+            let inner =
+              Parallel.map_reduce ~domains:8 ~chunk:1 ~tasks:(i + 1)
+                ~init:(fun () -> ref 0)
+                ~merge:(fun a b ->
+                  a := !a + !b;
+                  a)
+                (fun acc j -> acc := !acc + j)
+            in
+            acc := !acc + !inner)
+      in
+      let want =
+        List.fold_left ( + ) 0 (List.init 8 (fun i -> i * (i + 1) / 2))
+      in
+      Alcotest.(check int) "nested sums correct" want !got;
+      Alcotest.(check int) "nested calls published no pool job" (jobs0 + 1)
+        (Parallel.pool_jobs_total ()))
+
+let test_pool_env_semantics () =
+  (* FAIRMIS_DOMAINS is the per-call request, re-read every call;
+     FAIRMIS_POOL_CAP clamps what actually runs. The effective
+     parallelism is observable as the parallel.domains counter. *)
+  let eff_of () =
+    let reg = Metrics.create () in
+    ignore
+      (Parallel.map_reduce ~chunk:1 ~obs:reg ~tasks:32
+         ~init:(fun () -> ())
+         ~merge:(fun () () -> ())
+         (fun () _ -> ()));
+    Option.get (Metrics.find_counter (Metrics.snapshot reg) "parallel.domains")
+  in
+  with_pool_cap 2 (fun () ->
+      Parallel.shutdown ();
+      with_domains_env "8" (fun () ->
+          Alcotest.(check int) "request clamped to the cap" 2 (eff_of ());
+          Alcotest.(check int) "one pooled worker" 1 (Parallel.pool_size ()));
+      with_domains_env "3" (fun () ->
+          with_env "FAIRMIS_POOL_CAP" "8" (fun () ->
+              Alcotest.(check int) "FAIRMIS_DOMAINS re-read per call" 3
+                (eff_of ());
+              Alcotest.(check int) "pool grew on demand" 2
+                (Parallel.pool_size ())));
+      with_domains_env "4" (fun () ->
+          with_env "FAIRMIS_POOL_CAP" "1" (fun () ->
+              Alcotest.(check int) "cap 1 forces the serial path" 1
+                (eff_of ());
+              Alcotest.(check int) "pool never shrinks below shutdown" 2
+                (Parallel.pool_size ()))))
+
+let test_empty_and_serial_calls_wake_nobody () =
+  with_pool_cap 8 (fun () ->
+      Parallel.shutdown ();
+      let jobs0 = Parallel.pool_jobs_total () in
+      let spawned0 = Parallel.pool_spawned_total () in
+      let r =
+        Parallel.map_reduce ~domains:8 ~tasks:0
+          ~init:(fun () -> 42)
+          ~merge:(fun a _ -> a)
+          (fun _ _ -> ())
+      in
+      Alcotest.(check int) "empty input returns init" 42 r;
+      let got = collect ~chunk:100 ~domains:8 ~tasks:37 (fun i -> i) in
+      Alcotest.(check (list int))
+        "single-chunk run correct"
+        (List.init 37 Fun.id)
+        !got;
+      Alcotest.(check int) "no pool job published" jobs0
+        (Parallel.pool_jobs_total ());
+      Alcotest.(check int) "no domain spawned" spawned0
+        (Parallel.pool_spawned_total ());
+      Alcotest.(check int) "pool still empty" 0 (Parallel.pool_size ()))
+
+let test_pool_matches_unpooled () =
+  (* Differential oracle: the pool and the retained spawn-per-call
+     engine must be bit-identical on the same inputs. *)
+  with_pool_cap 8 (fun () ->
+      let f i = (i * 131) lxor (i lsl 2) in
+      List.iter
+        (fun (domains, chunk, tasks) ->
+          let pooled = collect ~chunk ~domains ~tasks f in
+          let unpooled =
+            Parallel.map_reduce_unpooled ~domains ~chunk ~tasks
+              ~init:(fun () -> ref [])
+              ~merge:(fun a b ->
+                a := !a @ !b;
+                a)
+              (fun acc i -> acc := !acc @ [ f i ])
+          in
+          Alcotest.(check (list int))
+            (Printf.sprintf "pool = spawn engine, d=%d c=%d t=%d" domains
+               chunk tasks)
+            !unpooled !pooled)
+        [ (1, 3, 40); (4, 1, 64); (8, 7, 100) ];
+      let unpooled_bits =
+        let r =
+          Parallel.map_reduce_unpooled ~domains:4 ~chunk:9 ~tasks:333
+            ~init:(fun () -> ref 0.)
+            ~merge:(fun a b ->
+              a := !a +. !b;
+              a)
+            (fun acc i -> acc := !acc +. (1. /. float_of_int (i + 1)))
+        in
+        Int64.bits_of_float !r
+      in
+      Alcotest.(check int64) "float bits: pool = spawn engine" unpooled_bits
+        (float_bits ~domains:4 ()))
+
+let test_obs_fresh_registries_on_warm_pool () =
+  (* Pooled workers live across jobs; their per-job registries must
+     not. Two identical instrumented runs on a warm pool yield the same
+     counts — nothing carries over. *)
+  with_pool_cap 8 (fun () ->
+      Parallel.shutdown ();
+      let run () =
+        let reg = Metrics.create () in
+        ignore
+          (Parallel.map_reduce ~domains:4 ~chunk:1 ~obs:reg ~tasks:20
+             ~init:(fun () -> ())
+             ~merge:(fun () () -> ())
+             (fun () _ ->
+               Metrics.incr
+                 (Metrics.counter (Parallel.domain_metrics ()) "warm.count")));
+        let snap = Metrics.snapshot reg in
+        ( Option.get (Metrics.find_counter snap "warm.count"),
+          Option.get (Metrics.find_counter snap "parallel.pool.workers") )
+      in
+      let cold_count, cold_workers = run () in
+      Alcotest.(check int) "cold obs run" 20 cold_count;
+      Alcotest.(check int) "cold run used 3 pooled workers" 3 cold_workers;
+      let warm_count, warm_workers = run () in
+      Alcotest.(check int) "warm obs run does not double-count" 20 warm_count;
+      Alcotest.(check int) "warm run reused 3 pooled workers" 3 warm_workers)
+
 (* --- through the Montecarlo / Trials stack ------------------------------ *)
 
 let test_montecarlo_engine_stress () =
@@ -314,6 +595,26 @@ let suite =
     ( "parallel.config",
       [ Alcotest.test_case "FAIRMIS_DOMAINS handling" `Quick
           test_default_domains_env ] );
+    ( "parallel.pool",
+      [ Alcotest.test_case "warm vs cold bit-identity" `Slow
+          test_pool_cold_vs_warm;
+        prop_pool_warm_cold_invariance;
+        Alcotest.test_case "raising tasks leave pool reusable" `Quick
+          test_pool_survives_raising_tasks;
+        Alcotest.test_case "shutdown then reuse respawns" `Quick
+          test_pool_shutdown_then_reuse;
+        Alcotest.test_case "shutdown inside a task rejected" `Quick
+          test_shutdown_inside_task_rejected;
+        Alcotest.test_case "nested map_reduce serialized off the pool" `Quick
+          test_nested_map_reduce_serialized;
+        Alcotest.test_case "FAIRMIS_DOMAINS / FAIRMIS_POOL_CAP semantics"
+          `Quick test_pool_env_semantics;
+        Alcotest.test_case "empty and single-chunk calls wake nobody" `Quick
+          test_empty_and_serial_calls_wake_nobody;
+        Alcotest.test_case "pool matches the spawn engine bit for bit" `Quick
+          test_pool_matches_unpooled;
+        Alcotest.test_case "fresh per-job registries on a warm pool" `Quick
+          test_obs_fresh_registries_on_warm_pool ] );
     ( "parallel.stack",
       [ Alcotest.test_case "montecarlo across domains and chunks" `Quick
           test_montecarlo_engine_stress ] ) ]

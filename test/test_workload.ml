@@ -62,7 +62,8 @@ let prop_random_trees =
       let rng () = Splitmix.of_seed seed in
       is_tree (Trees.random_prufer (rng ()) ~n)
       && is_tree (Trees.random_attachment (rng ()) ~n)
-      && is_tree (Trees.preferential_attachment (rng ()) ~n))
+      && is_tree (Trees.preferential_attachment (rng ()) ~n)
+      && is_tree (Trees.random_attachment_xl (rng ()) ~n))
 
 let prop_prufer_varies =
   Helpers.qtest ~count:20 "prufer trees vary with the seed"
