@@ -323,6 +323,91 @@ let run_engine_bench () =
   print_estimates estimates;
   estimates @ run_engine_scaling ()
 
+(* Kernel-backend rows: the same n = 1000 single-run workload as the
+   engine/single-run pair, executed by the data-parallel sweeps over a
+   prebuilt [Mis_sim.Kernel] (Luby and the full FairTree stage
+   pipeline), plus the 1000-trial fairness workload through the
+   [Trials.fairness_runner] front end with a per-chunk kernel at 1 and
+   4 domains. The printed vs-engine ratio is the backend's reason to
+   exist — the single-run sweep must beat the message engine's prebuilt
+   reuse row by >= 5x — and `bench-diff --only kernel/` hard-gates
+   every kernel row against the committed baseline. *)
+let kernel_timing_tests () =
+  let view = lazy (View.full (Helpers_bench.random_tree 1000)) in
+  let kern = lazy (Mis_sim.Kernel.create (Lazy.force view)) in
+  [ stage "kernel/single-run/luby-n1000" (fun next_seed ->
+        Fairmis.Luby.run_kernel_on (Lazy.force kern)
+          (Rand_plan.make (next_seed ())));
+    stage "kernel/single-run/fairtree-n1000" (fun next_seed ->
+        Fairmis.Fair_tree_distributed.run_kernel_on (Lazy.force kern)
+          (Rand_plan.make (next_seed ()))) ]
+
+let run_kernel_scaling () =
+  let trials = 1000 and n = 1000 in
+  let chunk = 250 in
+  let view = View.full (Helpers_bench.random_tree n) in
+  let b =
+    match Mis_exp.Runners.backed Fairmis.Backend.Kernel "luby" with
+    | Some b -> b
+    | None -> assert false
+  in
+  let work domains =
+    let spec = { Mis_exp.Trials.trials; seed = 11; domains = Some domains } in
+    ignore
+      (Mis_exp.Trials.fairness_runner ~chunk spec ~n (fun () ->
+           b.Mis_exp.Runners.b_compile view))
+  in
+  let time_best domains =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      work domains;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let ns_per_trial s = s *. 1e9 /. float_of_int trials in
+  let rows = List.map (fun d -> (d, time_best d)) [ 1; 4 ] in
+  Mis_exp.Table.print
+    ~header:[ "domains"; "s/run"; "ns/trial" ]
+    (List.map
+       (fun (d, s) ->
+         [ string_of_int d; Printf.sprintf "%.3f" s;
+           Printf.sprintf "%.0f" (ns_per_trial s) ])
+       rows);
+  print_newline ();
+  List.map
+    (fun (d, s) ->
+      ( Printf.sprintf "kernel/fairness-n%d-trials%d/domains-%d" n trials d,
+        Some (ns_per_trial s) ))
+    rows
+
+let run_kernel_bench () =
+  print_endline
+    "== kernel: data-parallel sweeps, single run + 1000-trial fairness";
+  let estimates = estimate_tests (kernel_timing_tests ()) in
+  (* The engine's prebuilt-reuse row, re-measured here rather than read
+     from history so the ratio compares two numbers from the same host
+     and the same run; it is printed, not returned — the kernel history
+     entry carries only kernel/ rows. *)
+  let engine_reuse =
+    let view = lazy (View.full (Helpers_bench.random_tree 1000)) in
+    let eng = lazy (Mis_sim.Runtime.Engine.create (Lazy.force view)) in
+    estimate_tests
+      [ stage "engine/single-run/luby-n1000-reuse" (fun next_seed ->
+            Fairmis.Luby.run_distributed_on (Lazy.force eng)
+              (Rand_plan.make (next_seed ()))) ]
+  in
+  print_estimates (estimates @ engine_reuse);
+  (match (estimates, engine_reuse) with
+  | (_, Some kernel_ns) :: _, [ (_, Some engine_ns) ] ->
+    Printf.printf "kernel single-run speedup over engine reuse: %.1fx%s\n\n"
+      (engine_ns /. kernel_ns)
+      (if engine_ns /. kernel_ns >= 5. then "" else "  (below the 5x target!)")
+  | _ -> ());
+  estimates @ run_kernel_scaling ()
+
 (* Dynamic-layer rows: mean wall-clock per churn batch served by the
    incremental maintainer, against a maintainer whose ladder starts (and
    ends) at Full_recompute. Both serve the identical pre-generated
@@ -553,6 +638,7 @@ let () =
     print_endline "timing     Bechamel micro-benchmarks";
     print_endline "pool       1000-trial fairness: worker pool vs spawn engine";
     print_endline "engine     compiled-engine reuse vs per-trial rebuild";
+    print_endline "kernel     data-parallel sweeps vs the message engine";
     print_endline "xl         single runs at n = 1e5 / 1e6 on the compiled engine";
     print_endline "dyn        incremental repair vs full recompute per batch";
     print_endline "telemetry  engine hot path with live telemetry off vs on";
@@ -564,7 +650,8 @@ let () =
       Mis_exp.Registry.all;
     let timing = run_timing () in
     let timing =
-      timing @ run_pool_scaling () @ run_engine_bench () @ run_xl_bench ()
+      timing @ run_pool_scaling () @ run_engine_bench ()
+      @ run_kernel_bench () @ run_xl_bench ()
       @ run_churn_bench () @ run_telemetry_bench () @ run_causal_bench ()
     in
     append_history ~cfg timing;
@@ -580,6 +667,7 @@ let () =
         end
         else if id = "pool" then timing := !timing @ run_pool_scaling ()
         else if id = "engine" then timing := !timing @ run_engine_bench ()
+        else if id = "kernel" then timing := !timing @ run_kernel_bench ()
         else if id = "xl" then timing := !timing @ run_xl_bench ()
         else if id = "dyn" then timing := !timing @ run_churn_bench ()
         else if id = "telemetry" then

@@ -64,6 +64,53 @@ let or_die = function
     Printf.eprintf "error: %s\n" e;
     exit 2
 
+(* Validating cmdliner converters: a zero/negative trial count or domain
+   count used to parse fine and then die deep inside the trial engine as
+   an Invalid_argument; validating at parse time turns that into a clean
+   usage error naming the offending option. *)
+let bounded_int ~min what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= min -> Ok v
+    | Some v ->
+      Error (`Msg (Printf.sprintf "%s must be >= %d (got %d)" what min v))
+    | None -> Error (`Msg (Printf.sprintf "%s expects an integer (got %s)" what s))
+  in
+  Arg.conv ~docv:"INT" (parse, Format.pp_print_int)
+
+let pos_int what = bounded_int ~min:1 what
+let nonneg_int what = bounded_int ~min:0 what
+
+(* Backend selection for the simulator-backed algorithms: the message
+   engine or the data-parallel kernel sweeps (bit-identical results). *)
+let backend_arg =
+  Arg.(value
+      & opt
+          (enum
+             (List.map
+                (fun b -> (Fairmis.Backend.to_string b, b))
+                Fairmis.Backend.all))
+          Fairmis.Backend.Message
+      & info [ "backend" ]
+          ~doc:
+            (Printf.sprintf
+               "Execution backend: $(b,message) (the message-passing \
+                engine) or $(b,kernel) (data-parallel array sweeps over \
+                the compiled CSR; bit-identical decisions). $(b,kernel) \
+                supports: %s."
+               (String.concat ", " Fairmis.Backend.supported)))
+
+let backed_runner backend alg =
+  match Mis_exp.Runners.backed backend alg with
+  | Some b -> b
+  | None ->
+    or_die
+      (Error
+         (Printf.sprintf "--backend %s supports only: %s (got %S)"
+            (Fairmis.Backend.to_string backend)
+            (String.concat ", " Fairmis.Backend.supported)
+            alg))
+
 (* list *)
 
 let list_cmd =
@@ -163,7 +210,8 @@ let spec_arg1 =
   Arg.(required & pos 1 (some string) None & info [] ~docv:"TOPOLOGY")
 
 let seed_arg =
-  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+  Arg.(value & opt (nonneg_int "--seed") 1
+      & info [ "seed" ] ~doc:"Random seed (>= 0; trial $(i,i) uses seed+i).")
 
 let run_cmd =
   let doc = "Run one algorithm once and report the resulting MIS." in
@@ -174,15 +222,23 @@ let run_cmd =
     Arg.(value & opt (some string) None
         & info [ "dot" ] ~doc:"Write a Graphviz rendering with the MIS filled.")
   in
-  let run alg spec seed members dot =
-    let runner = or_die (runner_of_name alg) in
+  let run alg spec seed backend members dot =
     let g = or_die (graph_of_spec spec) in
     let view = View.full g in
-    let mis = runner.Mis_exp.Runners.run view ~seed in
+    let display, mis =
+      match backend with
+      | Fairmis.Backend.Message ->
+        let runner = or_die (runner_of_name alg) in
+        (runner.Mis_exp.Runners.name, runner.Mis_exp.Runners.run view ~seed)
+      | Fairmis.Backend.Kernel ->
+        let b = backed_runner backend alg in
+        ( b.Mis_exp.Runners.b_display ^ " [kernel]",
+          b.Mis_exp.Runners.b_compile view ~seed )
+    in
     Fairmis.Mis.verify ~name:alg view mis;
     let size = Array.fold_left (fun a b -> if b then a + 1 else a) 0 mis in
     Printf.printf "%s on %s (seed %d): MIS size %d / %d nodes — valid\n"
-      runner.Mis_exp.Runners.name spec seed size (Graph.n g);
+      display spec seed size (Graph.n g);
     if members then begin
       Array.iteri (fun u b -> if b then Printf.printf "%d " u) mis;
       print_newline ()
@@ -196,37 +252,51 @@ let run_cmd =
     | None -> ()
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ alg_arg $ spec_arg1 $ seed_arg $ members $ dot)
+    Term.(const run $ alg_arg $ spec_arg1 $ seed_arg $ backend_arg $ members
+          $ dot)
 
 (* measure *)
 
 let measure_cmd =
   let doc = "Monte Carlo estimate of the inequality factor." in
   let trials =
-    Arg.(value & opt int 2000 & info [ "trials" ] ~doc:"Number of runs.")
+    Arg.(value & opt (pos_int "--trials") 2000
+        & info [ "trials" ] ~doc:"Number of runs.")
   in
   let domains =
-    Arg.(value & opt (some int) None & info [ "domains" ] ~doc:"Parallel domains.")
+    Arg.(value & opt (some (pos_int "--domains")) None
+        & info [ "domains" ] ~doc:"Parallel domains.")
   in
   let csv =
     Arg.(value & opt (some string) None
         & info [ "csv" ] ~doc:"Write the summary row to this CSV file.")
   in
-  let run alg spec seed trials domains csv =
-    let runner = or_die (runner_of_name alg) in
+  let run alg spec seed backend trials domains csv =
     let g = or_die (graph_of_spec spec) in
     let view = View.full g in
-    let cfg = { Mis_stats.Montecarlo.trials; base_seed = seed; domains } in
-    let e =
-      Mis_stats.Montecarlo.estimate
-        ~check:(fun mis -> Fairmis.Mis.verify ~name:alg view mis)
-        cfg view
-        (fun ~seed -> runner.Mis_exp.Runners.run view ~seed)
+    let display, e =
+      match backend with
+      | Fairmis.Backend.Message ->
+        let runner = or_die (runner_of_name alg) in
+        let cfg = { Mis_stats.Montecarlo.trials; base_seed = seed; domains } in
+        ( runner.Mis_exp.Runners.name,
+          Mis_stats.Montecarlo.estimate
+            ~check:(fun mis -> Fairmis.Mis.verify ~name:alg view mis)
+            cfg view
+            (fun ~seed -> runner.Mis_exp.Runners.run view ~seed) )
+      | Fairmis.Backend.Kernel ->
+        let b = backed_runner backend alg in
+        let cfg =
+          { Mis_exp.Config.trials; seed; domains;
+            nyc = Mis_exp.Config.Nyc_skip; full = false }
+        in
+        ( b.Mis_exp.Runners.b_display ^ " [kernel]",
+          Mis_exp.Runners.measure_backed cfg view b )
     in
     let s = Empirical.summarize e in
     Printf.printf
       "%s on %s: trials=%d  inequality factor=%s  min P=%.4f  max P=%.4f  mean P=%.4f\n"
-      runner.Mis_exp.Runners.name spec trials
+      display spec trials
       (Mis_exp.Table.float_cell s.Empirical.factor)
       s.Empirical.min_freq s.Empirical.max_freq s.Empirical.mean_freq;
     match csv with
@@ -234,7 +304,7 @@ let measure_cmd =
       Mis_exp.Csv.write ~path
         ~header:[ "algorithm"; "topology"; "trials"; "factor"; "min_p";
                   "max_p"; "mean_p" ]
-        [ [ runner.Mis_exp.Runners.name; spec; string_of_int trials;
+        [ [ display; spec; string_of_int trials;
             Mis_exp.Table.float_cell s.Empirical.factor;
             Printf.sprintf "%.6f" s.Empirical.min_freq;
             Printf.sprintf "%.6f" s.Empirical.max_freq;
@@ -243,7 +313,8 @@ let measure_cmd =
     | None -> ()
   in
   Cmd.v (Cmd.info "measure" ~doc)
-    Term.(const run $ alg_arg $ spec_arg1 $ seed_arg $ trials $ domains $ csv)
+    Term.(const run $ alg_arg $ spec_arg1 $ seed_arg $ backend_arg $ trials
+          $ domains $ csv)
 
 (* trace / analyze — shared replay plumbing *)
 
@@ -311,7 +382,8 @@ let trace_cmd =
             ~doc:"JSONL output path (default: $(i,ALGORITHM).trace.jsonl).")
   in
   let width =
-    Arg.(value & opt int 60 & info [ "width" ] ~doc:"Sparkline width.")
+    Arg.(value & opt (pos_int "--width") 60
+        & info [ "width" ] ~doc:"Sparkline width.")
   in
   let analyze =
     Arg.(value & flag
@@ -400,7 +472,8 @@ let analyze_cmd =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"TRACE.jsonl")
   in
   let width =
-    Arg.(value & opt int 60 & info [ "width" ] ~doc:"Sparkline width.")
+    Arg.(value & opt (pos_int "--width") 60
+        & info [ "width" ] ~doc:"Sparkline width.")
   in
   let run files width =
     let failures = ref 0 in
@@ -489,13 +562,13 @@ let critpath_cmd =
         & info [ "topo" ] ~doc:"Topology spec for a fresh run.")
   in
   let node =
-    Arg.(value & opt (some int) None
+    Arg.(value & opt (some (nonneg_int "--node")) None
         & info [ "node" ]
             ~doc:"Also print the critical path to this node's own decide \
                   (the global path ends at the last decider).")
   in
   let top =
-    Arg.(value & opt int 5
+    Arg.(value & opt (pos_int "--top") 5
         & info [ "top" ] ~doc:"Blame rows to print.")
   in
   let protocol_out =
@@ -597,11 +670,11 @@ let fairness_cmd =
   in
   let dp = Mis_exp.Fairness_obs.default_params in
   let n =
-    Arg.(value & opt int dp.Mis_exp.Fairness_obs.n
-        & info [ "n"; "nodes" ] ~doc:"Random-tree size.")
+    Arg.(value & opt (bounded_int ~min:2 "--n") dp.Mis_exp.Fairness_obs.n
+        & info [ "n"; "nodes" ] ~doc:"Random-tree size (>= 2).")
   in
   let trials =
-    Arg.(value & opt int dp.Mis_exp.Fairness_obs.trials
+    Arg.(value & opt (pos_int "--trials") dp.Mis_exp.Fairness_obs.trials
         & info [ "trials" ] ~doc:"Traced runs per algorithm.")
   in
   let algs =
@@ -609,7 +682,7 @@ let fairness_cmd =
         & info [ "algorithms" ] ~doc:"Comma-separated traced algorithms.")
   in
   let domains =
-    Arg.(value & opt (some int) None
+    Arg.(value & opt (some (pos_int "--domains")) None
         & info [ "domains" ] ~doc:"Parallel domains.")
   in
   let csv =
@@ -617,8 +690,6 @@ let fairness_cmd =
         & info [ "csv" ] ~doc:"Write the summary rows to this CSV file.")
   in
   let run n trials algs seed domains csv =
-    if n < 2 then or_die (Error "n must be >= 2");
-    if trials < 1 then or_die (Error "trials must be >= 1");
     try
       ignore
         (Mis_exp.Fairness_obs.run_params
@@ -723,11 +794,15 @@ let faults_cmd =
      FairTree under message loss."
   in
   let n =
-    Arg.(value & opt int Mis_exp.Faults.default_params.Mis_exp.Faults.n
-        & info [ "n"; "nodes" ] ~doc:"Random-tree size.")
+    Arg.(value
+        & opt (bounded_int ~min:2 "--n")
+            Mis_exp.Faults.default_params.Mis_exp.Faults.n
+        & info [ "n"; "nodes" ] ~doc:"Random-tree size (>= 2).")
   in
   let trials =
-    Arg.(value & opt int Mis_exp.Faults.default_params.Mis_exp.Faults.trials
+    Arg.(value
+        & opt (pos_int "--trials")
+            Mis_exp.Faults.default_params.Mis_exp.Faults.trials
         & info [ "trials" ] ~doc:"Runs per algorithm and drop rate.")
   in
   let rates =
@@ -736,19 +811,20 @@ let faults_cmd =
         & info [ "rates" ] ~doc:"Comma-separated per-message drop rates.")
   in
   let repeats =
-    Arg.(value & opt int Mis_exp.Faults.default_params.Mis_exp.Faults.repeats
+    Arg.(value
+        & opt (pos_int "--repeats")
+            Mis_exp.Faults.default_params.Mis_exp.Faults.repeats
         & info [ "repeats" ] ~doc:"Re-broadcast factor of the robust wrapper.")
   in
   let domains =
-    Arg.(value & opt (some int) None & info [ "domains" ] ~doc:"Parallel domains.")
+    Arg.(value & opt (some (pos_int "--domains")) None
+        & info [ "domains" ] ~doc:"Parallel domains.")
   in
   let csv =
     Arg.(value & opt (some string) None
         & info [ "csv" ] ~doc:"Write the result rows to this CSV file.")
   in
   let run n trials rates repeats seed domains csv =
-    if n < 2 then or_die (Error "n must be >= 2");
-    if trials < 1 then or_die (Error "trials must be >= 1");
     if List.exists (fun r -> r < 0. || r > 1.) rates then
       or_die (Error "drop rates must be in [0, 1]");
     Mis_exp.Faults.run_params
@@ -766,15 +842,15 @@ let churn_gen_cmd =
   in
   let dp = Mis_workload.Churn.default in
   let capacity =
-    Arg.(value & opt int dp.Mis_workload.Churn.capacity
+    Arg.(value & opt (pos_int "--capacity") dp.Mis_workload.Churn.capacity
         & info [ "capacity" ] ~doc:"Node slots (AP positions).")
   in
   let initial =
-    Arg.(value & opt int dp.Mis_workload.Churn.initial
+    Arg.(value & opt (nonneg_int "--initial") dp.Mis_workload.Churn.initial
         & info [ "initial" ] ~doc:"Nodes up at bootstrap.")
   in
   let batches =
-    Arg.(value & opt int dp.Mis_workload.Churn.batches
+    Arg.(value & opt (nonneg_int "--batches") dp.Mis_workload.Churn.batches
         & info [ "batches" ] ~doc:"Churn batches after the bootstrap.")
   in
   let arrivals =
@@ -849,15 +925,16 @@ let serve_cmd =
             ~doc:"Event stream; $(b,-) reads stdin.")
   in
   let capacity =
-    Arg.(value & opt int 512 & info [ "capacity" ] ~doc:"Node slots.")
+    Arg.(value & opt (pos_int "--capacity") 512
+        & info [ "capacity" ] ~doc:"Node slots.")
   in
   let batch_size =
-    Arg.(value & opt int 64
+    Arg.(value & opt (pos_int "--batch-size") 64
         & info [ "batch-size" ]
             ~doc:"Events per batch when the stream has no batch markers.")
   in
   let max_batches =
-    Arg.(value & opt (some int) None
+    Arg.(value & opt (some (pos_int "--max-batches")) None
         & info [ "max-batches" ] ~doc:"Stop after this many batches.")
   in
   let strict =
@@ -867,7 +944,7 @@ let serve_cmd =
                   with a full recompute.")
   in
   let check_every =
-    Arg.(value & opt int 1
+    Arg.(value & opt (nonneg_int "--check-every") 1
         & info [ "check-every" ]
             ~doc:"Verify the live MIS every this many batches (0 = only \
                   at end of stream).")
@@ -1078,7 +1155,7 @@ let experiment_cmd =
   let doc = "Run registered paper experiments (see 'list')." in
   let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
   let domains =
-    Arg.(value & opt (some int) None
+    Arg.(value & opt (some (pos_int "--domains")) None
         & info [ "domains" ]
             ~doc:"Parallel domains for the trial engine (overrides \
                   FAIRMIS_DOMAINS; results are bit-identical at any \
@@ -1089,8 +1166,7 @@ let experiment_cmd =
     let cfg =
       match domains with
       | None -> cfg
-      | Some d when d >= 1 -> { cfg with Mis_exp.Config.domains = Some d }
-      | Some _ -> or_die (Error "--domains must be >= 1")
+      | Some d -> { cfg with Mis_exp.Config.domains = Some d }
     in
     List.iter
       (fun id ->

@@ -37,5 +37,24 @@ val run :
     [fairtree.i4]) and when it enters the Luby fallback
     ([fairtree.luby_fallback]). *)
 
+val run_on :
+  ?gamma:int ->
+  ?tracer:Mis_obs.Trace.sink ->
+  (state, Messages.t) Mis_sim.Runtime.Engine.t ->
+  Rand_plan.t ->
+  Mis_sim.Runtime.outcome
+(** {!run} on a prebuilt engine: identical results, view compilation
+    amortized across seeded trials. *)
+
+val run_kernel :
+  ?gamma:int -> Mis_graph.View.t -> Rand_plan.t -> Mis_sim.Kernel.outcome
+(** The same protocol on the data-parallel {!Mis_sim.Kernel} backend
+    (stage sweeps instead of messages): decisions, MIS membership and
+    per-node decision rounds bit-identical to {!run}. *)
+
+val run_kernel_on :
+  ?gamma:int -> Mis_sim.Kernel.t -> Rand_plan.t -> Mis_sim.Kernel.outcome
+(** {!run_kernel} on a prebuilt kernel (the fast, reusing path). *)
+
 val message_bits : n:int -> Messages.t -> int
 (** Size accounting: every message fits in O(log n) bits. *)

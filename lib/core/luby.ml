@@ -14,30 +14,47 @@ let run_stats ?(stage = default_stage) view plan =
   let in_mis = Array.make n false in
   let alive = Array.make n false in
   View.iter_active view (fun u -> alive.(u) <- true);
-  let live = ref (View.active_nodes view) in
+  (* In-place frontier: [cur.(0 .. len-1)] holds the live nodes in
+     stable order, compacted after each phase; [winners] is a scratch
+     buffer so the winner set is computed against the pre-marking
+     [alive] snapshot. No per-phase list round-trips. *)
+  let cur = View.active_nodes view in
+  let len = ref (Array.length cur) in
+  let winners = Array.make (max 1 !len) 0 in
   let value = Array.make n 0 in
   let phase = ref 0 in
-  while Array.length !live > 0 do
-    let nodes = !live in
-    Array.iter
-      (fun u -> value.(u) <- Rand_plan.node_value plan ~stage ~round:!phase ~node:u)
-      nodes;
-    let winners =
-      Array.to_list nodes
-      |> List.filter (fun u ->
-             let mine = (value.(u), u) in
-             let beaten = ref false in
-             View.iter_adj view u (fun w ->
-                 if alive.(w) && not (beats mine (value.(w), w)) then beaten := true);
-             not !beaten)
-    in
-    List.iter
-      (fun u ->
-        in_mis.(u) <- true;
-        alive.(u) <- false;
-        View.iter_adj view u (fun w -> alive.(w) <- false))
-      winners;
-    live := Array.of_list (List.filter (fun u -> alive.(u)) (Array.to_list nodes));
+  while !len > 0 do
+    for i = 0 to !len - 1 do
+      let u = cur.(i) in
+      value.(u) <- Rand_plan.node_value plan ~stage ~round:!phase ~node:u
+    done;
+    let wlen = ref 0 in
+    for i = 0 to !len - 1 do
+      let u = cur.(i) in
+      let mine = (value.(u), u) in
+      let beaten = ref false in
+      View.iter_adj view u (fun w ->
+          if alive.(w) && not (beats mine (value.(w), w)) then beaten := true);
+      if not !beaten then begin
+        winners.(!wlen) <- u;
+        incr wlen
+      end
+    done;
+    for i = 0 to !wlen - 1 do
+      let u = winners.(i) in
+      in_mis.(u) <- true;
+      alive.(u) <- false;
+      View.iter_adj view u (fun w -> alive.(w) <- false)
+    done;
+    let w = ref 0 in
+    for i = 0 to !len - 1 do
+      let u = cur.(i) in
+      if alive.(u) then begin
+        cur.(!w) <- u;
+        incr w
+      end
+    done;
+    len := !w;
     incr phase
   done;
   (in_mis, { phases = !phase })
@@ -111,3 +128,12 @@ let run_distributed_on ?(stage = default_stage) ?tracer engine plan =
   Mis_sim.Runtime.Engine.exec ?tracer
     ~rng_of:(fun u -> Rand_plan.node_stream plan ~stage ~node:u)
     engine prog
+
+let run_kernel_on ?(stage = default_stage) kernel plan =
+  Mis_sim.Kernel.luby
+    ~value_of:(fun ~round ~id ->
+      Rand_plan.node_value plan ~stage ~round ~node:id)
+    kernel
+
+let run_kernel ?stage view plan =
+  run_kernel_on ?stage (Mis_sim.Kernel.create view) plan

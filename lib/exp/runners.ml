@@ -94,3 +94,41 @@ let measure cfg view runner =
               Fairmis.Mis.verify ~name:runner.name view mis))
         (Config.montecarlo cfg) view
         (fun ~seed -> runner.run view ~seed))
+
+type backed = {
+  b_key : string;
+  b_display : string;
+  b_backend : Fairmis.Backend.t;
+  b_compile : Mis_graph.View.t -> seed:int -> bool array;
+}
+
+let backed backend key =
+  let compile exec view =
+    let run = exec backend view in
+    fun ~seed -> (run (Rand_plan.make seed)).Fairmis.Backend.output
+  in
+  match key with
+  | "luby" ->
+    Some
+      { b_key = key; b_display = "Luby's"; b_backend = backend;
+        b_compile = compile Fairmis.Backend.exec_luby }
+  | "fairtree" ->
+    Some
+      { b_key = key; b_display = "FairTree"; b_backend = backend;
+        b_compile = compile (fun b v -> Fairmis.Backend.exec_fair_tree b v) }
+  | _ -> None
+
+let measure_backed cfg view b =
+  let tag =
+    Printf.sprintf "measure.%s[%s]" b.b_display
+      (Fairmis.Backend.to_string b.b_backend)
+  in
+  Mis_obs.Prof.gspan tag (fun () ->
+      Mis_stats.Montecarlo.estimate_ctx
+        ~check:(fun mis ->
+          Mis_obs.Prof.gspan "validate" (fun () ->
+              Fairmis.Mis.verify ~name:b.b_display view mis))
+        (Config.montecarlo cfg)
+        ~ctx:(fun () -> b.b_compile view)
+        view
+        (fun run ~seed -> run ~seed))

@@ -42,3 +42,27 @@ val find_traced : string -> traced option
 val measure :
   Config.t -> Mis_graph.View.t -> t -> Mis_stats.Empirical.t
 (** Monte Carlo with per-run MIS validation. *)
+
+(** {1 Backend-selected runners}
+
+    Compiled adapters over {!Fairmis.Backend}: the same algorithm run on
+    either the message engine or the data-parallel kernel, with the view
+    compiled once per domain-chunk instead of per trial. *)
+
+type backed = {
+  b_key : string;  (** CLI key: [luby] or [fairtree]. *)
+  b_display : string;
+  b_backend : Fairmis.Backend.t;
+  b_compile : Mis_graph.View.t -> seed:int -> bool array;
+      (** [b_compile view] compiles once; each [~seed] call is one
+          trial reusing the compiled state (single-domain use only). *)
+}
+
+val backed : Fairmis.Backend.t -> string -> backed option
+(** Runner by CLI key, or [None] for algorithms with no simulator
+    program (see {!Fairmis.Backend.supported}). *)
+
+val measure_backed :
+  Config.t -> Mis_graph.View.t -> backed -> Mis_stats.Empirical.t
+(** {!measure} through a backend-selected runner, compiling the view
+    once per domain-chunk ({!Mis_stats.Montecarlo.estimate_ctx}). *)

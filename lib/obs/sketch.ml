@@ -89,6 +89,71 @@ let value_of_index t i =
 
 let value_of_bucket t i = if i = min_int then 0. else value_of_index t i
 
+(* ceil (q * total) in exact integer arithmetic. The float product
+   [q *. float_of_int total] can round to an integer from above or below
+   (0.1 *. 10. is exactly 1.0 even though the double 0.1 is > 1/10), and
+   ceil then lands the rank one off. Instead: frexp splits q into
+   m * 2^e with m in [0.5, 1); m * 2^53 is integral for any double, so
+   q = mant / 2^k exactly with k = 53 - e, and
+   ceil (q * total) = (mant * total + 2^k - 1) >> k, formed in 128 bits
+   from 32-bit limbs. *)
+let ceil_rank ~total q =
+  if not (q >= 0. && q <= 1.) then
+    invalid_arg "Sketch.ceil_rank: q must be in [0, 1]";
+  if total < 0 then invalid_arg "Sketch.ceil_rank: total must be >= 0";
+  if total = 0 || q = 0. then 0
+  else if q = 1. then total
+  else begin
+    let m, e = Float.frexp q in
+    let mant = Int64.of_float (Float.ldexp m 53) in
+    let k = 53 - e in
+    (* mant * total < 2^53 * 2^62 = 2^115, so k >= 115 means
+       q * total <= 1 and the ceiling is 1. *)
+    if k >= 115 then 1
+    else begin
+      let t64 = Int64.of_int total in
+      let mask = 0xFFFF_FFFFL in
+      let a0 = Int64.logand mant mask
+      and a1 = Int64.shift_right_logical mant 32
+      and b0 = Int64.logand t64 mask
+      and b1 = Int64.shift_right_logical t64 32 in
+      let p00 = Int64.mul a0 b0
+      and p01 = Int64.mul a0 b1
+      and p10 = Int64.mul a1 b0
+      and p11 = Int64.mul a1 b1 in
+      let mid =
+        Int64.add
+          (Int64.shift_right_logical p00 32)
+          (Int64.add (Int64.logand p10 mask) (Int64.logand p01 mask))
+      in
+      let lo = Int64.logor (Int64.shift_left mid 32) (Int64.logand p00 mask) in
+      let hi =
+        Int64.add p11
+          (Int64.add
+             (Int64.add
+                (Int64.shift_right_logical p10 32)
+                (Int64.shift_right_logical p01 32))
+             (Int64.shift_right_logical mid 32))
+      in
+      (* hi:lo += 2^k - 1, with 53 <= k <= 114. *)
+      let add_lo, add_hi =
+        if k <= 63 then (Int64.sub (Int64.shift_left 1L k) 1L, 0L)
+        else (-1L, Int64.sub (Int64.shift_left 1L (k - 64)) 1L)
+      in
+      let sum_lo = Int64.add lo add_lo in
+      let carry = if Int64.unsigned_compare sum_lo lo < 0 then 1L else 0L in
+      let sum_hi = Int64.add hi (Int64.add add_hi carry) in
+      let r =
+        if k < 64 then
+          Int64.logor
+            (Int64.shift_right_logical sum_lo k)
+            (Int64.shift_left sum_hi (64 - k))
+        else Int64.shift_right_logical sum_hi (k - 64)
+      in
+      Int64.to_int r
+    end
+  end
+
 let quantile t q =
   if not (q >= 0. && q <= 1.) then
     invalid_arg "Sketch.quantile: q must be in [0, 1]";
@@ -96,7 +161,7 @@ let quantile t q =
   else if q = 0. then Some t.min_v  (* exact endpoints *)
   else if q = 1. then Some t.max_v
   else begin
-    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int t.total))) in
+    let rank = max 1 (ceil_rank ~total:t.total q) in
     let est =
       if rank <= t.zero then 0.
       else begin
@@ -147,6 +212,6 @@ let nearest_rank xs q =
   else begin
     let a = Array.copy xs in
     Array.sort compare a;
-    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    let rank = ceil_rank ~total:n q in
     Some a.(max 0 (min (n - 1) (rank - 1)))
   end

@@ -84,6 +84,19 @@ val value_of_bucket : t -> int -> float
 
 (** {1 The exact offline percentile} *)
 
+val ceil_rank : total:int -> float -> int
+(** [ceil_rank ~total q] is [ceil (q * total)] computed exactly, for
+    [q] in [[0, 1]] and [total >= 0]. The naive
+    [Float.ceil (q *. float_of_int total)] misranks whenever the float
+    product rounds across an integer — e.g. [0.1 *. 10.] is exactly
+    [1.0] although the double [0.1] is strictly greater than 1/10, so
+    the true ceiling is 2. Here [q] is decomposed into its exact 53-bit
+    mantissa and the product is formed in 128-bit integer arithmetic,
+    so the returned rank is the mathematical ceiling of the product of
+    [total] with the double [q] actually passed. Both {!quantile} and
+    {!nearest_rank} rank through this.
+    @raise Invalid_argument on [q] outside [0, 1] or negative [total]. *)
+
 val nearest_rank : float array -> float -> float option
 (** [nearest_rank xs q] is the exact nearest-rank [q]-quantile of [xs]
     (rank [ceil (q * n)], clamped to [1 .. n]): the single offline

@@ -107,17 +107,15 @@ module Engine = struct
     v.len <- v.len + 1
 
   type ('s, 'm) t = {
-    e_view : View.t;
+    (* Topology compilation shared with the kernel backend: slot maps,
+       CSR adjacency, id lookup. *)
+    csr : Csr.t;
     n : int;
     ids : int array;
     active : int array;  (* slot -> node index *)
     slot : int array;  (* node index -> slot, or -1 *)
-    (* CSR adjacency over slots: neighbors of [active.(s)], as node
-       indices in view iteration order, live at
-       [adj_node.(adj_off.(s)) .. adj_node.(adj_off.(s+1) - 1)]. *)
     adj_off : int array;
     adj_node : int array;
-    adj_sorted : int array;  (* same ranges, sorted: Send membership *)
     nbr_ids : int array array;  (* per slot: ids of the neighbors *)
     index_of_id : (int, int) Hashtbl.t;
     (* Reusable per-run scratch, reset in place by [exec]. *)
@@ -137,49 +135,15 @@ module Engine = struct
     ectx : Node_ctx.t array;
   }
 
-  let create ?ids view =
-    let setup_span = Prof.gstart "runtime.setup" in
-    let n = View.n view in
-    let ids =
-      match ids with Some a -> a | None -> Array.init n (fun i -> i)
+  let of_csr csr =
+    let { Csr.n; ids; active; slot; adj_off; adj_node; index_of_id; _ } =
+      csr
     in
-    if Array.length ids <> n then invalid_arg "Runtime.run: ids length";
-    let active = View.active_nodes view in
     let nslots = Array.length active in
-    let index_of_id = Hashtbl.create ((2 * nslots) + 1) in
-    Array.iter
-      (fun u ->
-        if Hashtbl.mem index_of_id ids.(u) then
-          invalid_arg "Runtime.run: duplicate ids";
-        Hashtbl.add index_of_id ids.(u) u)
-      active;
-    let slot = Array.make n (-1) in
-    Array.iteri (fun s u -> slot.(u) <- s) active;
-    let deg = Array.make nslots 0 in
-    Array.iteri
-      (fun s u -> View.iter_adj view u (fun _ -> deg.(s) <- deg.(s) + 1))
-      active;
-    let adj_off = Array.make (nslots + 1) 0 in
-    for s = 0 to nslots - 1 do
-      adj_off.(s + 1) <- adj_off.(s) + deg.(s)
-    done;
-    let adj_node = Array.make (max 1 adj_off.(nslots)) 0 in
-    let fill = Array.make nslots 0 in
-    Array.iteri
-      (fun s u ->
-        View.iter_adj view u (fun v ->
-            adj_node.(adj_off.(s) + fill.(s)) <- v;
-            fill.(s) <- fill.(s) + 1))
-      active;
-    let adj_sorted = Array.copy adj_node in
-    for s = 0 to nslots - 1 do
-      let sub = Array.sub adj_sorted adj_off.(s) deg.(s) in
-      Array.sort (fun (a : int) b -> compare a b) sub;
-      Array.blit sub 0 adj_sorted adj_off.(s) deg.(s)
-    done;
     let nbr_ids =
       Array.init nslots (fun s ->
-          Array.init deg.(s) (fun k -> ids.(adj_node.(adj_off.(s) + k))))
+          Array.init (Csr.deg csr s)
+            (fun k -> ids.(adj_node.(adj_off.(s) + k))))
     in
     let blank_rng = Mis_util.Splitmix.of_seed 0 in
     let ectx =
@@ -190,8 +154,8 @@ module Engine = struct
         active
     in
     let e =
-      { e_view = view; n; ids; active; slot; adj_off; adj_node; adj_sorted;
-        nbr_ids; index_of_id; ectx;
+      { csr; n; ids; active; slot; adj_off; adj_node; nbr_ids; index_of_id;
+        ectx;
         states = Array.make nslots None;
         live = Array.make nslots 0;
         live_len = 0;
@@ -200,23 +164,17 @@ module Engine = struct
         token = 0;
         ring = [||] }
     in
-    Prof.gstop setup_span;
     e
 
-  let view e = e.e_view
+  let create ?ids view =
+    let setup_span = Prof.gstart "runtime.setup" in
+    let e = of_csr (Csr.compile ?ids view) in
+    Prof.gstop setup_span;
+    e
+  let view e = Csr.view e.csr
 
   (* Membership of node index [v] among the neighbors of slot [s]. *)
-  let is_neighbor e s v =
-    let lo = ref e.adj_off.(s) and hi = ref (e.adj_off.(s + 1) - 1) in
-    let found = ref false in
-    while (not !found) && !lo <= !hi do
-      let mid = (!lo + !hi) / 2 in
-      let x = e.adj_sorted.(mid) in
-      if x = v then found := true
-      else if x < v then lo := mid + 1
-      else hi := mid - 1
-    done;
-    !found
+  let is_neighbor e s v = Csr.is_neighbor e.csr s v
 
   let exec ?max_rounds ?size_bits ?(faults = Fault.none) ?tracer ~rng_of e
       (program : ('s, 'm) Program.t) =
@@ -538,3 +496,7 @@ end
 let run ?max_rounds ?size_bits ?ids ?faults ?tracer ~rng_of view program =
   let engine = Engine.create ?ids view in
   Engine.exec ?max_rounds ?size_bits ?faults ?tracer ~rng_of engine program
+
+(* The data-parallel sibling backend, re-exported here so call sites can
+   spell the pair as [Runtime.Engine] / [Runtime.Kernel]. *)
+module Kernel = Kernel

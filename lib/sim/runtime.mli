@@ -112,6 +112,10 @@ module Engine : sig
       identity) into an engine. Performs the id validation documented
       under {!run}, raising [Invalid_argument] with the same messages. *)
 
+  val of_csr : Csr.t -> ('s, 'm) t
+  (** Build an engine over an already-compiled topology, e.g. one shared
+      with a {!Kernel} backend. *)
+
   val view : ('s, 'm) t -> Mis_graph.View.t
   (** The view the engine was compiled from. *)
 
@@ -167,3 +171,8 @@ val run :
     @raise Invalid_argument if [ids] contains duplicates among active
     nodes, if a program sends to an id that is not its neighbor, or if the
     fault plan schedules a crash for an out-of-range node. *)
+
+module Kernel = Kernel
+(** The data-parallel sibling backend (see {!Kernel}): same compiled
+    {!Csr} topology, array sweeps instead of message passing,
+    bit-identical decisions on a perfect network. *)

@@ -1,0 +1,271 @@
+(* Backend equivalence: the data-parallel [Mis_sim.Kernel] sweeps must be
+   bit-identical to the message engine — same outputs, same decided set,
+   same per-node decision round (recovered from the traced Decide
+   events), same [rounds] total — across topologies, seeds, and reused
+   kernels/engines. Also pins the in-place [Luby.run_stats] frontier
+   rewrite against the original list-based implementation, which is the
+   centralized oracle the whole chain hangs off. *)
+
+module View = Mis_graph.View
+module Runtime = Mis_sim.Runtime
+module Kernel = Mis_sim.Kernel
+module Trace = Mis_obs.Trace
+module Trials = Mis_exp.Trials
+module Rand_plan = Fairmis.Rand_plan
+
+let view_of gk ~n ~gseed =
+  match gk with
+  | 0 -> View.full (Helpers.random_tree ~seed:gseed ~n)
+  | 1 -> View.full (Helpers.random_graph ~seed:gseed ~n ~p:0.2)
+  | 2 ->
+    View.full (Mis_workload.Bipartite.grid ~width:4 ~height:(max 1 (n / 4)))
+  | _ -> View.full (Mis_workload.Real_world.dartmouth_like ~seed:gseed)
+
+(* Per-node decision rounds from a traced message run. *)
+let decide_rounds ~n events =
+  let dr = Array.make n (-1) in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Trace.Decide { round; node; _ } -> dr.(node) <- round
+      | _ -> ())
+    events;
+  dr
+
+let outcome_matches ~name view (o : Runtime.outcome) events
+    (k : Kernel.outcome) =
+  let n = View.n view in
+  o.Runtime.output = k.Kernel.output
+  && o.Runtime.decided = k.Kernel.decided
+  && o.Runtime.rounds = k.Kernel.rounds
+  && decide_rounds ~n events = k.Kernel.decide_round
+  && (Fairmis.Mis.verify ~name view k.Kernel.output;
+      true)
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (gk, n, gseed, pseed) ->
+      Printf.sprintf "graph=%d n=%d gseed=%d pseed=%d" gk n gseed pseed)
+    QCheck.Gen.(
+      quad (int_range 0 3) (int_range 4 24) (int_range 0 1000)
+        (int_range 0 1000))
+
+(* One kernel value serves every seed in sequence: scratch reset between
+   runs is on the line, exactly like engine reuse. *)
+let prop_kernel_luby (gk, n, gseed, pseed) =
+  let view = view_of gk ~n ~gseed in
+  let kernel = Kernel.create view in
+  let engine = Runtime.Engine.create view in
+  List.for_all
+    (fun seed ->
+      let plan = Rand_plan.make seed in
+      let sink, evs = Trace.memory () in
+      let o = Fairmis.Luby.run_distributed_on ~tracer:sink engine plan in
+      let k = Fairmis.Luby.run_kernel_on kernel plan in
+      outcome_matches ~name:"kernel-luby" view o (evs ()) k)
+    [ pseed; pseed + 1; pseed + 2 ]
+
+let prop_kernel_fair_tree (gk, n, gseed, pseed) =
+  let view = view_of gk ~n ~gseed in
+  let kernel = Kernel.create view in
+  let engine = Runtime.Engine.create view in
+  List.for_all
+    (fun seed ->
+      let plan = Rand_plan.make seed in
+      let sink, evs = Trace.memory () in
+      let o = Fairmis.Fair_tree_distributed.run_on ~tracer:sink engine plan in
+      let k = Fairmis.Fair_tree_distributed.run_kernel_on kernel plan in
+      outcome_matches ~name:"kernel-fairtree" view o (evs ()) k)
+    [ pseed; pseed + 1 ]
+
+(* A tiny gamma keeps the floods unconverged on larger graphs, forcing
+   the cutoff/partial-propagation paths to agree too. *)
+let prop_kernel_fair_tree_small_gamma (gk, n, gseed, pseed) =
+  let view = view_of gk ~n ~gseed in
+  let plan = Rand_plan.make pseed in
+  List.for_all
+    (fun gamma ->
+      let sink, evs = Trace.memory () in
+      let o = Fairmis.Fair_tree_distributed.run ~gamma ~tracer:sink view plan in
+      let k = Fairmis.Fair_tree_distributed.run_kernel ~gamma view plan in
+      let n = View.n view in
+      o.Runtime.output = k.Kernel.output
+      && o.Runtime.decided = k.Kernel.decided
+      && o.Runtime.rounds = k.Kernel.rounds
+      && decide_rounds ~n (evs ()) = k.Kernel.decide_round)
+    [ 1; 2 ]
+
+(* The engine's max_rounds cutoff semantics: decisions past the cutoff
+   don't happen and [rounds = max_rounds] is reported. *)
+let prop_kernel_luby_cutoff (gk, n, gseed, pseed) =
+  let view = view_of gk ~n ~gseed in
+  let plan = Rand_plan.make pseed in
+  let nv = View.n view in
+  List.for_all
+    (fun max_rounds ->
+      let sink, evs = Trace.memory () in
+      let prog = Fairmis.Luby.program plan ~stage:Fairmis.Rand_plan.Stage.luby_main in
+      let o =
+        Runtime.run ~max_rounds ~tracer:sink
+          ~rng_of:(fun u ->
+            Rand_plan.node_stream plan ~stage:Fairmis.Rand_plan.Stage.luby_main
+              ~node:u)
+          view prog
+      in
+      let k =
+        Kernel.luby ~max_rounds
+          ~value_of:(fun ~round ~id ->
+            Rand_plan.node_value plan
+              ~stage:Fairmis.Rand_plan.Stage.luby_main ~round ~node:id)
+          (Kernel.create view)
+      in
+      o.Runtime.output = k.Kernel.output
+      && o.Runtime.decided = k.Kernel.decided
+      && o.Runtime.rounds = k.Kernel.rounds
+      && decide_rounds ~n:nv (evs ()) = k.Kernel.decide_round)
+    [ 0; 1; 2; 3; 4; 7 ]
+
+(* The Backend facade: both backends produce the same backend-neutral
+   outcome for both programs. *)
+let prop_backend_facade (gk, n, gseed, pseed) =
+  let view = view_of gk ~n ~gseed in
+  let plan = Rand_plan.make pseed in
+  List.for_all
+    (fun key ->
+      let run b =
+        match Fairmis.Backend.exec_of_name b view key with
+        | Some exec -> exec plan
+        | None -> Alcotest.fail ("unsupported key " ^ key)
+      in
+      run Fairmis.Backend.Message = run Fairmis.Backend.Kernel)
+    Fairmis.Backend.supported
+
+(* Satellite: the in-place run_stats frontier must match the original
+   list-based implementation exactly. The oracle below is the pre-rewrite
+   code, verbatim. *)
+let run_stats_list_oracle ?(stage = Fairmis.Rand_plan.Stage.luby_main) view
+    plan =
+  let n = View.n view in
+  let in_mis = Array.make n false in
+  let alive = Array.make n false in
+  View.iter_active view (fun u -> alive.(u) <- true);
+  let live = ref (View.active_nodes view) in
+  let value = Array.make n 0 in
+  let phase = ref 0 in
+  let beats (v1, id1) (v2, id2) = v1 < v2 || (v1 = v2 && id1 < id2) in
+  while Array.length !live > 0 do
+    let nodes = !live in
+    Array.iter
+      (fun u ->
+        value.(u) <- Rand_plan.node_value plan ~stage ~round:!phase ~node:u)
+      nodes;
+    let winners =
+      Array.to_list nodes
+      |> List.filter (fun u ->
+             let mine = (value.(u), u) in
+             let beaten = ref false in
+             View.iter_adj view u (fun w ->
+                 if alive.(w) && not (beats mine (value.(w), w)) then
+                   beaten := true);
+             not !beaten)
+    in
+    List.iter
+      (fun u ->
+        in_mis.(u) <- true;
+        alive.(u) <- false;
+        View.iter_adj view u (fun w -> alive.(w) <- false))
+      winners;
+    live :=
+      Array.of_list (List.filter (fun u -> alive.(u)) (Array.to_list nodes));
+    incr phase
+  done;
+  (in_mis, !phase)
+
+let prop_run_stats_inplace (gk, n, gseed, pseed) =
+  let view = view_of gk ~n ~gseed in
+  let plan = Rand_plan.make pseed in
+  let oracle_mis, oracle_phases = run_stats_list_oracle view plan in
+  let mis, stats = Fairmis.Luby.run_stats view plan in
+  mis = oracle_mis && stats.Fairmis.Luby.phases = oracle_phases
+
+(* run_stats on a masked view: the frontier starts from the active
+   subset, exercising the non-contiguous compaction path. *)
+let prop_run_stats_inplace_masked (gk, n, gseed, pseed) =
+  let g =
+    match gk with
+    | 0 -> Helpers.random_tree ~seed:gseed ~n
+    | _ -> Helpers.random_graph ~seed:gseed ~n ~p:0.2
+  in
+  let rng = Mis_util.Splitmix.of_seed (pseed + 17) in
+  let keep = Array.init n (fun _ -> Mis_util.Splitmix.float rng < 0.7) in
+  let view = View.induced g keep in
+  let plan = Rand_plan.make pseed in
+  let oracle_mis, oracle_phases = run_stats_list_oracle view plan in
+  let mis, stats = Fairmis.Luby.run_stats view plan in
+  mis = oracle_mis && stats.Fairmis.Luby.phases = oracle_phases
+
+(* Kernel through the Trials front end at 1 and 4 domains: per-chunk
+   kernels must reproduce the message-backend joins exactly. *)
+let test_trials_kernel_domain_invariant () =
+  let n = 60 in
+  let view = View.full (Helpers.random_tree ~seed:9 ~n) in
+  let joins_of backend domains =
+    let spec = { Trials.trials = 48; seed = 5; domains = Some domains } in
+    let b =
+      match Mis_exp.Runners.backed backend "luby" with
+      | Some b -> b
+      | None -> Alcotest.fail "luby runner missing"
+    in
+    Mis_obs.Fairness.joins
+      (Trials.fairness_runner spec ~n (fun () -> b.Mis_exp.Runners.b_compile view))
+  in
+  let reference = joins_of Fairmis.Backend.Message 1 in
+  Alcotest.check Helpers.int_array "kernel(1) = message" reference
+    (joins_of Fairmis.Backend.Kernel 1);
+  Alcotest.check Helpers.int_array "kernel(4) = message" reference
+    (joins_of Fairmis.Backend.Kernel 4)
+
+(* measure through both backends agrees with the legacy centralized
+   measure (same per-node estimates). *)
+let test_measure_backed_matches () =
+  let cfg =
+    { Mis_exp.Config.trials = 32; seed = 3; domains = Some 2;
+      nyc = Mis_exp.Config.Nyc_skip; full = false }
+  in
+  let view = View.full (Helpers.random_tree ~seed:4 ~n:40) in
+  let legacy = Mis_exp.Runners.measure cfg view Mis_exp.Runners.luby in
+  List.iter
+    (fun backend ->
+      let b =
+        match Mis_exp.Runners.backed backend "luby" with
+        | Some b -> b
+        | None -> Alcotest.fail "luby runner missing"
+      in
+      let est = Mis_exp.Runners.measure_backed cfg view b in
+      Alcotest.(check bool)
+        ("frequencies " ^ Fairmis.Backend.to_string backend)
+        true
+        (Mis_stats.Empirical.frequencies legacy
+        = Mis_stats.Empirical.frequencies est))
+    Fairmis.Backend.all
+
+let suite =
+  [ ( "sim.kernel",
+      [ Helpers.qtest ~count:60 "kernel = engine (luby)" arb_case
+          prop_kernel_luby;
+        Helpers.qtest ~count:30 "kernel = engine (fairtree)" arb_case
+          prop_kernel_fair_tree;
+        Helpers.qtest ~count:20 "kernel = engine (fairtree, small gamma)"
+          arb_case prop_kernel_fair_tree_small_gamma;
+        Helpers.qtest ~count:30 "kernel = engine (luby, max_rounds cutoff)"
+          arb_case prop_kernel_luby_cutoff;
+        Helpers.qtest ~count:40 "backend facade agreement" arb_case
+          prop_backend_facade;
+        Helpers.qtest ~count:60 "run_stats in-place = list oracle" arb_case
+          prop_run_stats_inplace;
+        Helpers.qtest ~count:40 "run_stats in-place = list oracle (masked)"
+          arb_case prop_run_stats_inplace_masked;
+        Alcotest.test_case "trials kernel joins, domains 1 and 4" `Quick
+          test_trials_kernel_domain_invariant;
+        Alcotest.test_case "measure on both backends" `Quick
+          test_measure_backed_matches ] ) ]

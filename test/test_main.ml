@@ -8,4 +8,4 @@ let () =
     @ Test_edge_cases.suite
     @ Test_fairness.suite @ Test_obs.suite @ Test_telemetry.suite
     @ Test_replay.suite @ Test_causal.suite
-    @ Test_engine.suite @ Test_dyn.suite @ Test_xl.suite)
+    @ Test_engine.suite @ Test_kernel.suite @ Test_dyn.suite @ Test_xl.suite)

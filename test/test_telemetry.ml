@@ -76,6 +76,60 @@ let test_sketch_zero_and_clamp () =
     (Invalid_argument "Sketch.merge: sketches have different configurations")
     (fun () -> Sketch.merge ~into:(Sketch.create ()) s)
 
+let test_ceil_rank_exact () =
+  (* The canonical float-path misrank: the double 0.1 is strictly greater
+     than 1/10, so ceil (0.1 * 10) is mathematically 2 — yet
+     0.1 *. 10. rounds to exactly 1.0 and the old float ceil said 1. *)
+  Alcotest.(check int) "0.1 of 10" 2 (Sketch.ceil_rank ~total:10 0.1);
+  Alcotest.(check int) "0.1 of 100" 11 (Sketch.ceil_rank ~total:100 0.1);
+  (* Likewise 0.9 > 9/10. *)
+  Alcotest.(check int) "0.9 of 10" 10 (Sketch.ceil_rank ~total:10 0.9);
+  (* 0.95 < 19/20, so this one agrees with the float path. *)
+  Alcotest.(check int) "0.95 of 100" 95 (Sketch.ceil_rank ~total:100 0.95);
+  (* Endpoints and degenerate totals. *)
+  Alcotest.(check int) "q=0" 0 (Sketch.ceil_rank ~total:10 0.);
+  Alcotest.(check int) "q=1" 10 (Sketch.ceil_rank ~total:10 1.);
+  Alcotest.(check int) "total=0" 0 (Sketch.ceil_rank ~total:0 0.5);
+  (* q just above 0: any positive q with a positive total ranks 1. *)
+  Alcotest.(check int) "tiny q" 1
+    (Sketch.ceil_rank ~total:max_int Float.min_float);
+  Alcotest.(check int) "subnormal q" 1
+    (Sketch.ceil_rank ~total:max_int (Float.ldexp 1. (-1060)));
+  (* q just below 1 must reach the top rank. *)
+  Alcotest.(check int) "pred 1 of 100" 100
+    (Sketch.ceil_rank ~total:100 (Float.pred 1.));
+  (* Totals near and beyond 2^53, where float_of_int total itself rounds:
+     0.5 * (2^53 + 1) = 2^52 + 0.5, ceiling 2^52 + 1 — but
+     float_of_int (2^53 + 1) is 2^53, so the float path said 2^52. *)
+  let p53 = 1 lsl 53 in
+  Alcotest.(check int) "0.5 of 2^53+1" ((p53 / 2) + 1)
+    (Sketch.ceil_rank ~total:(p53 + 1) 0.5);
+  Alcotest.(check int) "pred 1 of 2^53" (p53 - 1)
+    (Sketch.ceil_rank ~total:p53 (Float.pred 1.));
+  Alcotest.(check int) "q=1 of max_int" max_int
+    (Sketch.ceil_rank ~total:max_int 1.);
+  Alcotest.(check int) "0.5 of max_int" ((max_int / 2) + 1)
+    (Sketch.ceil_rank ~total:max_int 0.5);
+  Alcotest.check_raises "bad q"
+    (Invalid_argument "Sketch.ceil_rank: q must be in [0, 1]")
+    (fun () -> ignore (Sketch.ceil_rank ~total:10 1.5));
+  Alcotest.check_raises "bad total"
+    (Invalid_argument "Sketch.ceil_rank: total must be >= 0")
+    (fun () -> ignore (Sketch.ceil_rank ~total:(-1) 0.5))
+
+(* Away from integer boundaries the float path is already right, so it
+   doubles as an oracle: when q * total is not within 1e-6 of an integer
+   (for totals small enough that the double product is far more accurate
+   than that), exact and float ranks must agree. *)
+let prop_ceil_rank_matches_float_off_boundary =
+  Helpers.qtest ~count:500 "ceil_rank = float ceil away from integers"
+    QCheck.(pair (float_bound_exclusive 1.) (int_range 1 1_000_000))
+    (fun (q, total) ->
+      let q = Float.abs q in
+      let f = q *. float_of_int total in
+      Float.abs (f -. Float.round f) < 1e-6
+      || Sketch.ceil_rank ~total q = int_of_float (Float.ceil f))
+
 (* Positive values spanning several orders of magnitude, all inside the
    default trackable range. *)
 let arb_samples =
@@ -491,6 +545,9 @@ let suite =
       [ Alcotest.test_case "basics and validation" `Quick test_sketch_basics;
         Alcotest.test_case "zero bucket and range clamps" `Quick
           test_sketch_zero_and_clamp;
+        Alcotest.test_case "ceil_rank exact boundaries" `Quick
+          test_ceil_rank_exact;
+        prop_ceil_rank_matches_float_off_boundary;
         prop_sketch_error_bound;
         prop_sketch_merge_bound;
         Alcotest.test_case "registry merge across domains" `Quick

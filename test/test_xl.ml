@@ -89,6 +89,39 @@ let test_of_parents_scale () =
   Alcotest.(check bool) "is a tree" true
     (Mis_graph.Traverse.is_tree (View.full g))
 
+(* kernel/xl smoke: the data-parallel backend at the same scale — the
+   whole point of the sweeps is this tier. Checks validity, full
+   decision coverage, and bit-identity against the message engine. *)
+let test_kernel_luby_xl () =
+  require_xl ();
+  let g = build_graph () in
+  let view = View.full g in
+  let plan = Fairmis.Rand_plan.make 5 in
+  let kernel = Mis_sim.Kernel.create view in
+  let k = Fairmis.Luby.run_kernel_on kernel plan in
+  Alcotest.(check bool) "every node decided" true
+    (Array.for_all Fun.id k.Mis_sim.Kernel.decided);
+  Helpers.check_mis ~name:"xl kernel luby" view k.Mis_sim.Kernel.output;
+  let eng = Runtime.Engine.create view in
+  let o = Fairmis.Luby.run_distributed_on eng plan in
+  Alcotest.check Helpers.bool_array "kernel = engine at n=1e5"
+    o.Runtime.output k.Mis_sim.Kernel.output;
+  Alcotest.(check int) "rounds agree" o.Runtime.rounds k.Mis_sim.Kernel.rounds;
+  (* Kernel reuse at scale stays bit-identical. *)
+  let k2 = Fairmis.Luby.run_kernel_on kernel plan in
+  Alcotest.check Helpers.bool_array "kernel reuse bit-identical"
+    k.Mis_sim.Kernel.output k2.Mis_sim.Kernel.output
+
+let test_kernel_fair_tree_xl () =
+  require_xl ();
+  let g = build_graph () in
+  let view = View.full g in
+  let plan = Fairmis.Rand_plan.make 7 in
+  let k = Fairmis.Fair_tree_distributed.run_kernel view plan in
+  Alcotest.(check bool) "every node decided" true
+    (Array.for_all Fun.id k.Mis_sim.Kernel.decided);
+  Helpers.check_mis ~name:"xl kernel fairtree" view k.Mis_sim.Kernel.output
+
 let suite =
   [ ( "engine.xl",
       [ Alcotest.test_case "luby n=1e5: validity + conservation" `Slow
@@ -96,4 +129,9 @@ let suite =
         Alcotest.test_case "live-words ceiling c(n+m)" `Slow
           test_live_words_ceiling;
         Alcotest.test_case "of_parents topology at scale" `Slow
-          test_of_parents_scale ] ) ]
+          test_of_parents_scale ] );
+    ( "kernel.xl",
+      [ Alcotest.test_case "kernel luby n=1e5: validity + equivalence" `Slow
+          test_kernel_luby_xl;
+        Alcotest.test_case "kernel fairtree n=1e5: validity" `Slow
+          test_kernel_fair_tree_xl ] ) ]
